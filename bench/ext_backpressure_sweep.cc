@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: the hardware outstanding-SSR limit.
+ *
+ * The paper's QoS mechanism rests on one observation: "each
+ * accelerator has a hardware limit on the number of outstanding
+ * SSRs", which makes backpressure possible. This harness sweeps that
+ * limit and shows (1) unthrottled SSR throughput scaling with the
+ * limit, and (2) that the QoS governor's effectiveness is preserved
+ * regardless of the limit — it delays service, so any finite limit
+ * eventually stalls the GPU.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace hiss;
+
+double
+ubenchRate(std::uint32_t limit, double qos_threshold, int reps)
+{
+    SystemConfig base;
+    base.gpu.max_outstanding = limit;
+    if (qos_threshold > 0.0)
+        base.enableQos(qos_threshold);
+    double sum = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        SystemConfig config = base;
+        config.seed = 1 + static_cast<std::uint64_t>(i);
+        HeteroSystem sys(config);
+        sys.launchGpu(gpu_suite::params("ubench"), true, true);
+        sys.runUntil(msToTicks(25));
+        sum += static_cast<double>(sys.gpu().faultsResolved())
+            / ticksToSec(sys.now());
+    }
+    return sum / reps;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiss;
+    const int reps = bench::repsFromArgs(argc, argv, 2);
+    bench::banner(
+        "Ablation: outstanding-SSR hardware limit sweep",
+        "Section VI: the limit exists on every accelerator and is "
+        "the backpressure point the QoS governor exploits");
+
+    std::printf("%-12s %16s %16s %12s\n", "limit", "rate (no QoS)",
+                "rate (th_1)", "th_1/noQoS");
+    for (const std::uint32_t limit : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        bench::progress("limit " + std::to_string(limit));
+        const double free_rate = ubenchRate(limit, 0.0, reps);
+        const double throttled = ubenchRate(limit, 0.01, reps);
+        std::printf("%-12u %16.0f %16.0f %12.3f\n", limit, free_rate,
+                    throttled,
+                    free_rate > 0 ? throttled / free_rate : 0.0);
+    }
+    std::printf("\nThroughput grows with the limit (more latency "
+                "hiding), but th_1 pins the serviced rate to the CPU "
+                "budget regardless: backpressure needs only a finite "
+                "limit, not a particular value.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 7: Pareto trade-off between all eight combinations of the
+ * three mitigations, for the SSR microbenchmark.
+ *
+ * X axis: geomean (over CPU apps) of CPU workload performance while
+ * ubench runs, normalized to the pair without SSRs. Y axis: geomean
+ * of ubench's SSR rate relative to running with idle CPUs under the
+ * default configuration. The paper finds the default configuration
+ * is NOT Pareto optimal; coalescing+steering gives the best CPU
+ * performance, and combinations with the monolithic handler favor
+ * GPU throughput.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiss;
+    const int reps = bench::repsFromArgs(argc, argv, 1);
+    const bool full = bench::fullSweep(argc, argv);
+    bench::banner(
+        "Fig. 7: Pareto chart of mitigation combinations (ubench)",
+        "Default is not Pareto optimal; steer+coalesce maximizes CPU "
+        "perf; monolithic combinations maximize GPU throughput");
+
+    const std::vector<std::string> cpu_apps = full
+        ? parsec::benchmarkNames()
+        : std::vector<std::string>{"blackscholes", "facesim",
+                                   "raytrace", "streamcluster",
+                                   "swaptions", "x264"};
+
+    // No-SSR CPU baselines.
+    std::vector<double> cpu_baseline;
+    for (const auto &cpu : cpu_apps) {
+        bench::progress("baseline: " + cpu);
+        ExperimentConfig base = bench::defaultConfig();
+        base.gpu_demand_paging = false;
+        cpu_baseline.push_back(
+            ExperimentRunner::runAveraged(cpu, "ubench", base,
+                                          MeasureMode::CpuPrimary,
+                                          reps)
+                .cpu_runtime_ms);
+    }
+    // Idle-CPU ubench rate under the default configuration.
+    const double idle_rate =
+        ExperimentRunner::runAveraged("", "ubench",
+                                      bench::defaultConfig(),
+                                      MeasureMode::GpuOnly, reps)
+            .gpu_ssr_rate;
+
+    std::printf("%-28s %14s %14s\n", "configuration",
+                "CPU perf (X)", "ubench perf (Y)");
+    for (const MitigationConfig &combo :
+         MitigationConfig::allCombinations()) {
+        bench::progress(combo.label());
+        ExperimentConfig config = bench::defaultConfig();
+        config.mitigation = combo;
+        std::vector<double> cpu_perf;
+        std::vector<double> gpu_perf;
+        for (std::size_t i = 0; i < cpu_apps.size(); ++i) {
+            const RunResult c = ExperimentRunner::runAveraged(
+                cpu_apps[i], "ubench", config,
+                MeasureMode::CpuPrimary, reps);
+            cpu_perf.push_back(
+                normalizedPerf(cpu_baseline[i], c.cpu_runtime_ms));
+            const RunResult g = ExperimentRunner::runAveraged(
+                cpu_apps[i], "ubench", config,
+                MeasureMode::GpuPrimary, reps);
+            gpu_perf.push_back(g.gpu_ssr_rate / idle_rate);
+        }
+        std::printf("%-28s %14.3f %14.3f\n", combo.label().c_str(),
+                    geomean(cpu_perf), geomean(gpu_perf));
+    }
+    if (!full)
+        std::printf("\n(6 of 13 CPU apps used; pass --full for the "
+                    "complete sweep)\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 8: Pareto trade-off between mitigation combinations for the
+ * non-microbenchmark GPU applications (bfs, bpt, spmv, sssp,
+ * xsbench).
+ *
+ * X axis: geomean of CPU workload performance (vs no-SSR baseline)
+ * across CPU apps and GPU apps. Y axis: geomean of GPU performance
+ * vs the default-configuration idle-CPU baseline. Paper findings:
+ * the default is again not Pareto optimal; steering+coalescing buys
+ * ~10 % CPU performance for a ~35 % GPU slowdown; monolithic
+ * combinations favor the GPU.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiss;
+    const int reps = bench::repsFromArgs(argc, argv, 1);
+    const bool full = bench::fullSweep(argc, argv);
+    bench::banner(
+        "Fig. 8: Pareto chart of mitigation combinations "
+        "(non-ubench GPU apps)",
+        "Default not Pareto optimal; steer+coalesce trades ~35 % GPU "
+        "for ~10 % CPU; monolithic favors GPU");
+
+    const std::vector<std::string> cpu_apps = full
+        ? parsec::benchmarkNames()
+        : std::vector<std::string>{"facesim", "raytrace",
+                                   "streamcluster", "swaptions",
+                                   "x264"};
+    const std::vector<std::string> gpu_apps = {"bfs", "bpt", "spmv",
+                                               "sssp", "xsbench"};
+
+    // Baselines: no-SSR CPU runtimes and default idle-CPU GPU times.
+    std::vector<double> cpu_baseline;
+    for (const auto &cpu : cpu_apps) {
+        bench::progress("baseline: " + cpu);
+        ExperimentConfig base = bench::defaultConfig();
+        base.gpu_demand_paging = false;
+        cpu_baseline.push_back(
+            ExperimentRunner::runAveraged(cpu, "ubench", base,
+                                          MeasureMode::CpuPrimary,
+                                          reps)
+                .cpu_runtime_ms);
+    }
+    std::vector<double> gpu_idle;
+    for (const auto &gpu : gpu_apps) {
+        bench::progress("idle baseline: " + gpu);
+        gpu_idle.push_back(
+            ExperimentRunner::runAveraged("", gpu,
+                                          bench::defaultConfig(),
+                                          MeasureMode::GpuOnly, reps)
+                .gpu_runtime_ms);
+    }
+
+    std::printf("%-28s %14s %14s\n", "configuration",
+                "CPU perf (X)", "GPU perf (Y)");
+    for (const MitigationConfig &combo :
+         MitigationConfig::allCombinations()) {
+        bench::progress(combo.label());
+        ExperimentConfig config = bench::defaultConfig();
+        config.mitigation = combo;
+        std::vector<double> cpu_perf;
+        std::vector<double> gpu_perf;
+        for (std::size_t i = 0; i < cpu_apps.size(); ++i) {
+            for (std::size_t j = 0; j < gpu_apps.size(); ++j) {
+                const RunResult c = ExperimentRunner::runAveraged(
+                    cpu_apps[i], gpu_apps[j], config,
+                    MeasureMode::CpuPrimary, reps);
+                cpu_perf.push_back(
+                    normalizedPerf(cpu_baseline[i], c.cpu_runtime_ms));
+                const RunResult g = ExperimentRunner::runAveraged(
+                    cpu_apps[i], gpu_apps[j], config,
+                    MeasureMode::GpuPrimary, reps);
+                gpu_perf.push_back(
+                    normalizedPerf(gpu_idle[j], g.gpu_runtime_ms));
+            }
+        }
+        std::printf("%-28s %14.3f %14.3f\n", combo.label().c_str(),
+                    geomean(cpu_perf), geomean(gpu_perf));
+    }
+    if (!full)
+        std::printf("\n(5 of 13 CPU apps used; pass --full for the "
+                    "complete sweep)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Each bench binary regenerates one table or figure from the paper:
+ * it runs the relevant workload pairs through ExperimentRunner and
+ * prints the same rows/series the paper reports, normalized the same
+ * way. Absolute numbers differ from the paper's hardware testbed;
+ * the shapes are the reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef HISS_BENCH_HARNESS_H_
+#define HISS_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/hiss.h"
+
+namespace hiss {
+namespace bench {
+
+/** Parse "--reps N" / a bare integer from argv (default @p fallback). */
+inline int
+repsFromArgs(int argc, char **argv, int fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--reps" && i + 1 < argc)
+            return std::atoi(argv[i + 1]);
+        if (!arg.empty() && arg[0] != '-')
+            return std::atoi(arg.c_str());
+    }
+    return fallback;
+}
+
+/** True if "--full" was passed (complete sweeps instead of subsets). */
+inline bool
+fullSweep(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--full")
+            return true;
+    return false;
+}
+
+/** Print the standard figure banner. */
+inline void
+banner(const char *figure, const char *claim)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s\n", figure);
+    std::printf("Paper reference: %s\n", claim);
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** Progress note on stderr (kept off stdout so tables stay clean). */
+inline void
+progress(const std::string &what)
+{
+    std::fprintf(stderr, "  [bench] %s\n", what.c_str());
+}
+
+/** Default experiment config shared by the harnesses. */
+inline ExperimentConfig
+defaultConfig(std::uint64_t seed = 1)
+{
+    ExperimentConfig config;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace bench
+} // namespace hiss
+
+#endif // HISS_BENCH_HARNESS_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate:
+ * event-queue throughput, cache-model access rate, and branch
+ * predictor throughput. These bound how much simulated time the
+ * experiment harnesses can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/branch_predictor.h"
+#include "mem/cache.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        hiss::EventQueue q;
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            q.schedule(static_cast<hiss::Tick>(i + 1), [&sum] { ++sum; });
+        q.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n)
+                            * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    hiss::Cache cache(hiss::CacheParams{16 * 1024, 4, 64});
+    hiss::Rng rng(42);
+    for (auto _ : state) {
+        const hiss::Addr addr = rng.uniformInt(0, 1 << 20) * 64;
+        benchmark::DoNotOptimize(cache.access(addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    hiss::BranchPredictor bp(hiss::BranchPredictorParams{12, 12});
+    hiss::Rng rng(42);
+    for (auto _ : state) {
+        const hiss::Addr pc = rng.uniformInt(0, 255) * 16;
+        benchmark::DoNotOptimize(
+            bp.predictAndUpdate(pc, rng.withProbability(0.8)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

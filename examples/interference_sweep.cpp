@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interference sweep: every CPU application against every GPU
+ * workload, printing normalized CPU performance (the paper's
+ * Fig. 3a view) plus the SSR CPU-time fraction — a quick map of
+ * which pairings suffer most.
+ *
+ * Usage: interference_sweep [reps]   (default 1 repetition)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/hiss.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiss;
+
+    const int reps = argc > 1 ? std::atoi(argv[1]) : 1;
+
+    std::vector<std::string> headers = {"cpu_app"};
+    for (const std::string &gpu : gpu_suite::workloadNames())
+        headers.push_back(gpu);
+    TablePrinter perf_table(headers);
+    TablePrinter ssr_table(headers);
+
+    ExperimentConfig config;
+    for (const std::string &cpu : parsec::benchmarkNames()) {
+        // Baseline: same pairing, GPU uses pinned memory (no SSRs).
+        ExperimentConfig base_config = config;
+        base_config.gpu_demand_paging = false;
+        const RunResult base = ExperimentRunner::runAveraged(
+            cpu, "ubench", base_config, MeasureMode::CpuPrimary, reps);
+
+        std::vector<double> perf_row;
+        std::vector<double> ssr_row;
+        for (const std::string &gpu : gpu_suite::workloadNames()) {
+            const RunResult r = ExperimentRunner::runAveraged(
+                cpu, gpu, config, MeasureMode::CpuPrimary, reps);
+            perf_row.push_back(
+                normalizedPerf(base.cpu_runtime_ms, r.cpu_runtime_ms));
+            ssr_row.push_back(r.ssr_cpu_fraction);
+        }
+        perf_table.addRow(cpu, perf_row);
+        ssr_table.addRow(cpu, ssr_row);
+        std::fprintf(stderr, "  done: %s\n", cpu.c_str());
+    }
+
+    std::printf("Normalized CPU performance under GPU SSRs "
+                "(1.0 = no interference):\n\n");
+    perf_table.print(std::cout);
+    std::printf("\nFraction of CPU time consumed by SSR handling:\n\n");
+    ssr_table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: measure how a GPU workload's system service requests
+ * slow down an unrelated CPU application.
+ *
+ * Runs x264 alongside the SSR microbenchmark (ubench) twice — once
+ * with the GPU using pinned memory (no SSRs) and once with demand
+ * paging (SSRs) — and prints the interference the paper's Fig. 3a
+ * reports.
+ */
+
+#include <cstdio>
+
+#include "core/hiss.h"
+
+int
+main()
+{
+    using namespace hiss;
+
+    ExperimentConfig config;
+    config.seed = 7;
+
+    std::printf("HISS quickstart: x264 (CPU) vs ubench (GPU)\n\n");
+
+    // Baseline: GPU runs with pinned memory -> no SSRs reach the CPU.
+    config.gpu_demand_paging = false;
+    const RunResult baseline = ExperimentRunner::runAveraged(
+        "x264", "ubench", config, MeasureMode::CpuPrimary);
+
+    // Interference: GPU demand-pages -> every access is an SSR.
+    config.gpu_demand_paging = true;
+    const RunResult ssr = ExperimentRunner::runAveraged(
+        "x264", "ubench", config, MeasureMode::CpuPrimary);
+
+    const double perf =
+        normalizedPerf(baseline.cpu_runtime_ms, ssr.cpu_runtime_ms);
+
+    std::printf("x264 runtime without GPU SSRs : %8.2f ms\n",
+                baseline.cpu_runtime_ms);
+    std::printf("x264 runtime with GPU SSRs    : %8.2f ms\n",
+                ssr.cpu_runtime_ms);
+    std::printf("normalized CPU performance    : %8.3f  (1.0 = no loss)\n",
+                perf);
+    std::printf("CPU time spent handling SSRs  : %8.1f %%\n",
+                ssr.ssr_cpu_fraction * 100.0);
+    std::printf("SSR interrupts taken          : %8llu\n",
+                static_cast<unsigned long long>(ssr.ssr_interrupts));
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace hiss {
+
+std::string
+MitigationConfig::label() const
+{
+    std::string out;
+    const auto append = [&out](const char *piece) {
+        if (!out.empty())
+            out += '+';
+        out += piece;
+    };
+    if (steer_to_single_core)
+        append("steer");
+    if (interrupt_coalescing)
+        append("coalesce");
+    if (monolithic_bottom_half)
+        append("monolithic");
+    return out.empty() ? "default" : out;
+}
+
+std::vector<MitigationConfig>
+MitigationConfig::allCombinations()
+{
+    std::vector<MitigationConfig> out;
+    for (int bits = 0; bits < 8; ++bits) {
+        MitigationConfig m;
+        m.steer_to_single_core = (bits & 1) != 0;
+        m.interrupt_coalescing = (bits & 2) != 0;
+        m.monolithic_bottom_half = (bits & 4) != 0;
+        out.push_back(m);
+    }
+    return out;
+}
+
+void
+SystemConfig::applyMitigations(const MitigationConfig &mitigation)
+{
+    iommu.steering = mitigation.steer_to_single_core
+        ? MsiSteering::SingleCore : MsiSteering::SpreadRoundRobin;
+    iommu.steer_core = mitigation.steer_core;
+    iommu.coalescing = mitigation.interrupt_coalescing;
+    iommu.coalesce_window = mitigation.coalesce_window;
+    ssr_driver.monolithic_bottom_half = mitigation.monolithic_bottom_half;
+}
+
+void
+SystemConfig::enableQos(double threshold)
+{
+    kernel.qos.enabled = true;
+    kernel.qos.threshold = threshold;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "Simulated SoC (paper Table II analog)\n"
+       << "  CPU: " << num_cores << "x " << core.freq_ghz << " GHz cores, "
+       << core.l1d.size_bytes / 1024 << " KiB " << core.l1d.assoc
+       << "-way L1D, gshare " << (1u << core.bp.table_bits)
+       << "-entry BP\n"
+       << "  Accelerator: " << gpu.freq_ghz * 1000 << " MHz GPU, "
+       << gpu.max_outstanding << " outstanding SSR limit\n"
+       << "  Memory: "
+       << kernel.dram_frames * kPageBytes / (1024ull * 1024 * 1024)
+       << " GiB DRAM, 4 KiB pages\n"
+       << "  IOMMU: "
+       << (iommu.steering == MsiSteering::SingleCore
+               ? "MSI to single core" : "MSI spread round-robin")
+       << (iommu.coalescing ? ", coalescing on" : ", coalescing off")
+       << "\n  Driver: "
+       << (ssr_driver.monolithic_bottom_half
+               ? "monolithic bottom half" : "split top/bottom half")
+       << "\n  QoS: "
+       << (kernel.qos.enabled
+               ? "threshold " + std::to_string(kernel.qos.threshold)
+               : std::string("off"))
+       << "\n";
+    return os.str();
+}
+
+} // namespace hiss

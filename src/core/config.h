@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Top-level system and mitigation configuration.
+ *
+ * SystemConfig assembles every subsystem's parameters into the
+ * simulated testbed (defaults match the paper's Table II: 4-core
+ * 3.7 GHz CPU, 720 MHz GPU, 32 GiB DRAM). MitigationConfig selects
+ * the paper's three orthogonal mitigations (Section V), which can be
+ * combined freely into the eight configurations of Figs. 7-9.
+ */
+
+#ifndef HISS_CORE_CONFIG_H_
+#define HISS_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "gpu/gpu.h"
+#include "iommu/iommu.h"
+#include "os/kernel.h"
+#include "os/ssr_driver.h"
+
+namespace hiss {
+
+/** The paper's three orthogonal mitigation techniques. */
+struct MitigationConfig
+{
+    /** Section V-A: steer all SSR interrupts to a single core. */
+    bool steer_to_single_core = false;
+    int steer_core = 0;
+
+    /** Section V-B: coalesce interrupts up to a 13 us window. */
+    bool interrupt_coalescing = false;
+    Tick coalesce_window = usToTicks(13);
+
+    /** Section V-C: fold bottom-half pre-processing into the top
+     *  half (no wakeup IPI, no scheduling delay). */
+    bool monolithic_bottom_half = false;
+
+    /** Short label, e.g. "steer+coalesce" ("default" if none). */
+    std::string label() const;
+
+    /** All 8 combinations, Figs. 7-9 style. */
+    static std::vector<MitigationConfig> allCombinations();
+};
+
+/** Full simulated-system configuration. */
+struct SystemConfig
+{
+    /** CPU core count (paper testbed: AMD A10-7850K, 4 cores). */
+    int num_cores = 4;
+
+    CpuCoreParams core;
+    KernelParams kernel;
+    GpuParams gpu;
+    IommuParams iommu;
+    SsrDriverParams ssr_driver;
+
+    /** Experiment seed: drives every component's RNG stream. */
+    std::uint64_t seed = 1;
+
+    /** Fold a mitigation selection into the device/driver configs. */
+    void applyMitigations(const MitigationConfig &mitigation);
+
+    /** Enable the QoS governor at the given SSR CPU-time budget. */
+    void enableQos(double threshold);
+
+    /** Human-readable summary (Table II analog). */
+    std::string describe() const;
+};
+
+} // namespace hiss
+
+#endif // HISS_CORE_CONFIG_H_

@@ -1,0 +1,101 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+double
+normalizedPerf(double baseline_runtime, double runtime)
+{
+    if (baseline_runtime <= 0.0 || runtime <= 0.0)
+        return 0.0;
+    return baseline_runtime / runtime;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const double v : values) {
+        if (v <= 0.0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int col_width)
+    : headers_(std::move(headers)), col_width_(col_width)
+{
+    if (headers_.empty())
+        fatal("TablePrinter: need at least one column");
+    label_width_ = std::max<std::size_t>(label_width_,
+                                         headers_.front().size() + 2);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (!cells.empty())
+        label_width_ = std::max(label_width_, cells.front().size() + 2);
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (const double v : values)
+        cells.push_back(formatDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    const auto print_cell = [&](const std::string &text, bool first) {
+        if (first)
+            os << std::left << std::setw(static_cast<int>(label_width_))
+               << text;
+        else
+            os << std::right << std::setw(col_width_) << text;
+    };
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        print_cell(headers_[c], c == 0);
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            print_cell(c < row.size() ? row[c] : std::string(), c == 0);
+        os << '\n';
+    }
+}
+
+} // namespace hiss

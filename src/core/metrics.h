@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Result aggregation and reporting helpers.
+ *
+ * Normalization, geometric means, and a fixed-width table printer
+ * used by the benchmark harnesses to print paper-style rows.
+ */
+
+#ifndef HISS_CORE_METRICS_H_
+#define HISS_CORE_METRICS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hiss {
+
+/**
+ * Performance ratio of an experiment vs. its baseline, where
+ * performance = 1 / runtime. Values below 1 mean slowdown.
+ */
+double normalizedPerf(double baseline_runtime, double runtime);
+
+/** Geometric mean; ignores non-positive entries. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Fixed-width text table, markdown-ish, for bench output. */
+class TablePrinter
+{
+  public:
+    /** @param col_width width of every non-first column. */
+    explicit TablePrinter(std::vector<std::string> headers,
+                          int col_width = 10);
+
+    /** Add a row; missing cells print empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: first cell is a label, the rest are numbers. */
+    void addRow(const std::string &label,
+                const std::vector<double> &values, int precision = 3);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    int col_width_;
+    std::size_t label_width_ = 16;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 3);
+
+} // namespace hiss
+
+#endif // HISS_CORE_METRICS_H_

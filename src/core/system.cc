@@ -1,0 +1,77 @@
+#include "core/system.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+HeteroSystem::HeteroSystem(const SystemConfig &config)
+    : config_(config), ctx_{events_, stats_, config.seed}
+{
+    kernel_ = std::make_unique<Kernel>(ctx_, config.num_cores,
+                                       config.core, config.kernel);
+    iommu_ = std::make_unique<Iommu>(ctx_, *kernel_, config.iommu);
+    // When MSI steering pins interrupts to one core, the bottom-half
+    // kthread is pinned there too (paper Section V-E: steps 3 and 4
+    // run on the same core).
+    const int bh_affinity =
+        config.iommu.steering == MsiSteering::SingleCore
+            ? config.iommu.steer_core : kAffinityAny;
+    ssr_driver_ = &kernel_->attachSsrSource("iommu_drv", *iommu_,
+                                            config.ssr_driver,
+                                            bh_affinity);
+    iommu_->setDriver(ssr_driver_);
+
+    SignalQueueParams sq_params;
+    signal_queue_ = std::make_unique<SignalQueue>(ctx_, *kernel_,
+                                                  sq_params);
+    signal_driver_ = &kernel_->attachSsrSource("gpu_signal_drv",
+                                               *signal_queue_,
+                                               config.ssr_driver);
+    signal_queue_->setDriver(signal_driver_);
+
+    gpu_ = std::make_unique<Gpu>(ctx_, *iommu_, config.gpu);
+}
+
+HeteroSystem::~HeteroSystem() = default;
+
+CpuApp &
+HeteroSystem::addCpuApp(const CpuAppParams &params)
+{
+    apps_.push_back(std::make_unique<CpuApp>(ctx_, *kernel_, params));
+    return *apps_.back();
+}
+
+void
+HeteroSystem::launchGpu(const GpuWorkloadParams &workload,
+                        bool demand_paging, bool loop,
+                        std::function<void()> on_kernel_complete)
+{
+    gpu_->launch(workload, demand_paging, loop,
+                 std::move(on_kernel_complete));
+}
+
+Gpu &
+HeteroSystem::addAccelerator()
+{
+    GpuParams params = config_.gpu;
+    params.device_id = static_cast<int>(extra_gpus_.size()) + 1;
+    extra_gpus_.push_back(
+        std::make_unique<Gpu>(ctx_, *iommu_, params));
+    return *extra_gpus_.back();
+}
+
+bool
+HeteroSystem::runUntilCondition(const std::function<bool()> &predicate,
+                                Tick cap)
+{
+    while (!predicate()) {
+        if (events_.empty())
+            return false;
+        if (events_.now() >= cap)
+            return false;
+        events_.step();
+    }
+    return true;
+}
+
+} // namespace hiss

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The assembled heterogeneous system.
+ *
+ * HeteroSystem wires every subsystem together: event queue, stats,
+ * kernel (with cores, scheduler, services, work queues, optional QoS
+ * governor), IOMMU, SSR driver, GPU, and any number of CPU
+ * applications. It is the primary entry point of the public API.
+ */
+
+#ifndef HISS_CORE_SYSTEM_H_
+#define HISS_CORE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "gpu/gpu.h"
+#include "gpu/signal_queue.h"
+#include "iommu/iommu.h"
+#include "os/kernel.h"
+#include "workloads/cpu_app.h"
+
+namespace hiss {
+
+/** A fully wired simulated SoC. */
+class HeteroSystem
+{
+  public:
+    explicit HeteroSystem(const SystemConfig &config);
+    ~HeteroSystem();
+
+    HeteroSystem(const HeteroSystem &) = delete;
+    HeteroSystem &operator=(const HeteroSystem &) = delete;
+
+    const SystemConfig &config() const { return config_; }
+
+    EventQueue &events() { return events_; }
+    StatRegistry &stats() { return stats_; }
+    Kernel &kernel() { return *kernel_; }
+    Iommu &iommu() { return *iommu_; }
+    Gpu &gpu() { return *gpu_; }
+    SsrDriver &ssrDriver() { return *ssr_driver_; }
+    SignalQueue &signalQueue() { return *signal_queue_; }
+
+    /** Create (but not start) a CPU application; owned by the system. */
+    CpuApp &addCpuApp(const CpuAppParams &params);
+
+    /** Launch a GPU workload on the primary GPU (see Gpu::launch). */
+    void launchGpu(const GpuWorkloadParams &workload, bool demand_paging,
+                   bool loop,
+                   std::function<void()> on_kernel_complete = nullptr);
+
+    /**
+     * Add a further accelerator sharing the IOMMU and SSR path (the
+     * paper's accelerator-rich-SoC projection). Device ids are
+     * assigned sequentially starting at 1.
+     */
+    Gpu &addAccelerator();
+
+    /** Extra accelerators created with addAccelerator(). */
+    std::size_t numExtraAccelerators() const { return extra_gpus_.size(); }
+    Gpu &extraAccelerator(std::size_t i) { return *extra_gpus_[i]; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Run until simulated time @p until. */
+    void runUntil(Tick until) { events_.runUntil(until); }
+
+    /**
+     * Run until @p predicate returns true, the event queue drains,
+     * or simulated time reaches @p cap.
+     * @return true if the predicate was satisfied.
+     */
+    bool runUntilCondition(const std::function<bool()> &predicate,
+                           Tick cap);
+
+    /** Fold in-progress residency intervals into core stats. */
+    void finalizeStats() { kernel_->finalizeStats(); }
+
+    /**
+     * Attach (or detach with nullptr) a timeline writer; cores then
+     * emit burst/irq/sleep events for chrome://tracing. The writer
+     * must outlive the simulation.
+     */
+    void setTraceWriter(TraceWriter *trace) { ctx_.trace = trace; }
+
+  private:
+    SystemConfig config_;
+    EventQueue events_;
+    StatRegistry stats_;
+    SimContext ctx_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<Iommu> iommu_;
+    SsrDriver *ssr_driver_ = nullptr;       // Owned by the kernel.
+    std::unique_ptr<SignalQueue> signal_queue_;
+    SsrDriver *signal_driver_ = nullptr;    // Owned by the kernel.
+    std::unique_ptr<Gpu> gpu_;
+    std::vector<std::unique_ptr<Gpu>> extra_gpus_;
+    std::vector<std::unique_ptr<CpuApp>> apps_;
+};
+
+} // namespace hiss
+
+#endif // HISS_CORE_SYSTEM_H_

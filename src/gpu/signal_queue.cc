@@ -1,0 +1,79 @@
+#include "gpu/signal_queue.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+SignalQueue::SignalQueue(SimContext &ctx, Kernel &kernel,
+                         const SignalQueueParams &params)
+    : SimObject(ctx, "gpu_signal_queue"), kernel_(kernel), params_(params)
+{
+    if (params.steer_core >= kernel.numCores())
+        fatal("SignalQueue: steer_core %d out of range", params.steer_core);
+    stats().addFormula("gpu_signal_queue.sent", "signal SSRs sent",
+                       [this] {
+                           return static_cast<double>(signals_sent_);
+                       });
+    stats().addFormula("gpu_signal_queue.delivered",
+                       "signal SSRs delivered",
+                       [this] {
+                           return static_cast<double>(signals_delivered_);
+                       });
+}
+
+void
+SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
+{
+    ++signals_sent_;
+    SsrRequest request;
+    request.id = next_id_++;
+    request.kind = ServiceKind::Signal;
+    request.issued_at = now();
+    request.on_service_complete =
+        [this, cb = std::move(on_delivered)](CpuCore &core) {
+            ++signals_delivered_;
+            if (cb)
+                cb(core);
+        };
+    queue_.push_back(std::move(request));
+    considerRaise();
+}
+
+void
+SignalQueue::considerRaise()
+{
+    if (queue_.empty() || irq_inflight_)
+        return;
+    if (driver_ == nullptr)
+        panic("SignalQueue: no driver attached");
+    irq_inflight_ = true;
+    int target = params_.steer_core;
+    if (target < 0) {
+        target = rr_next_core_;
+        rr_next_core_ = (rr_next_core_ + 1) % kernel_.numCores();
+    }
+    scheduleAfter(params_.msi_latency, [this, target] {
+        kernel_.deliverIrq(target, driver_->makeInterrupt());
+    }, EventPriority::Device);
+}
+
+std::vector<SsrRequest>
+SignalQueue::drain()
+{
+    std::vector<SsrRequest> out;
+    out.reserve(queue_.size());
+    while (!queue_.empty()) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return out;
+}
+
+void
+SignalQueue::ack()
+{
+    irq_inflight_ = false;
+    considerRaise();
+}
+
+} // namespace hiss

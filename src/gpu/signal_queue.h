@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GPU signal request queue (paper Section II-C, "Signals").
+ *
+ * Models the S_SENDMSG path: the GPU writes a signal descriptor to a
+ * memory queue and interrupts a CPU, which runs the same split
+ * handler chain as page faults but invokes the signal service in
+ * step 5. Unlike page faults this path does not involve the IOMMU.
+ */
+
+#ifndef HISS_GPU_SIGNAL_QUEUE_H_
+#define HISS_GPU_SIGNAL_QUEUE_H_
+
+#include <deque>
+#include <functional>
+
+#include "os/kernel.h"
+#include "os/ssr_driver.h"
+#include "sim/sim_object.h"
+
+namespace hiss {
+
+/** Configuration for the signal delivery path. */
+struct SignalQueueParams
+{
+    /** Interrupt delivery latency. */
+    Tick msi_latency = 150;
+    /** Core selection: -1 = round-robin spread, else fixed core. */
+    int steer_core = -1;
+};
+
+/** A device-side queue of signal SSRs. */
+class SignalQueue : public SimObject, public RequestSource
+{
+  public:
+    SignalQueue(SimContext &ctx, Kernel &kernel,
+                const SignalQueueParams &params);
+
+    /** Driver whose interrupt this queue raises. */
+    void setDriver(SsrDriver *driver) { driver_ = driver; }
+
+    /**
+     * Issue one signal SSR (S_SENDMSG). @p on_delivered fires on the
+     * servicing core once the OS has delivered the signal.
+     */
+    void sendSignal(std::function<void(CpuCore &)> on_delivered);
+
+    /// @name RequestSource interface.
+    /// @{
+    std::vector<SsrRequest> drain() override;
+    void ack() override;
+    /// @}
+
+    std::uint64_t signalsSent() const { return signals_sent_; }
+    std::uint64_t signalsDelivered() const { return signals_delivered_; }
+
+  private:
+    void considerRaise();
+
+    Kernel &kernel_;
+    SignalQueueParams params_;
+    SsrDriver *driver_ = nullptr;
+    std::deque<SsrRequest> queue_;
+    bool irq_inflight_ = false;
+    int rr_next_core_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t signals_sent_ = 0;
+    std::uint64_t signals_delivered_ = 0;
+};
+
+} // namespace hiss
+
+#endif // HISS_GPU_SIGNAL_QUEUE_H_

@@ -1,0 +1,224 @@
+#include "iommu/iommu.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+Iommu::Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params)
+    : SimObject(ctx, "iommu"),
+      kernel_(kernel),
+      spaces_(kernel.addressSpaces()),
+      params_(params),
+      fault_latency_(ctx.stats.addDistribution(
+          "iommu.fault_latency",
+          "PPR issue to resolution latency (ticks)"))
+{
+    if (params.steering == MsiSteering::SingleCore
+        && (params.steer_core < 0
+            || params.steer_core >= kernel.numCores()))
+        fatal("Iommu: steer_core %d out of range", params.steer_core);
+    if (params.coalescing && params.coalesce_window == 0)
+        fatal("Iommu: coalescing enabled with zero window");
+    stats().addFormula("iommu.pprs", "peripheral page requests issued",
+                       [this] {
+                           return static_cast<double>(pprs_issued_);
+                       });
+    stats().addFormula("iommu.msis", "MSIs raised",
+                       [this] {
+                           return static_cast<double>(msis_raised_);
+                       });
+    stats().addFormula("iommu.iotlb_hits", "IOTLB hits",
+                       [this] {
+                           return static_cast<double>(iotlb_hits_);
+                       });
+    stats().addFormula("iommu.iotlb_misses", "IOTLB misses",
+                       [this] {
+                           return static_cast<double>(iotlb_misses_);
+                       });
+}
+
+bool
+Iommu::iotlbContains(Vpn vpn) const
+{
+    return iotlb_.count(vpn) > 0;
+}
+
+void
+Iommu::insertIotlb(Vpn vpn)
+{
+    if (iotlbContains(vpn))
+        return;
+    if (iotlb_fifo_.size() >= params_.iotlb_entries) {
+        iotlb_.erase(iotlb_fifo_.front());
+        iotlb_fifo_.pop_front();
+    }
+    iotlb_fifo_.push_back(vpn);
+    iotlb_.emplace(vpn, std::prev(iotlb_fifo_.end()));
+}
+
+void
+Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
+                 Pasid pasid)
+{
+    // Note: the IOTLB is tagged by VPN only; accelerators use
+    // disjoint VPN namespaces, so entries cannot alias in practice.
+    if (iotlbContains(vpn)) {
+        ++iotlb_hits_;
+        scheduleAfter(params_.iotlb_hit_latency,
+                      [cb = std::move(on_complete)] { cb(); },
+                      EventPriority::Device);
+        return;
+    }
+    ++iotlb_misses_;
+    scheduleAfter(params_.walk_latency,
+                  [this, vpn, cb = std::move(on_complete), allow_fault,
+                   pasid]() mutable {
+        PageTable &table = spaces_.table(pasid);
+        Pfn pfn;
+        if (table.translate(vpn, pfn)) {
+            insertIotlb(vpn);
+            cb();
+            return;
+        }
+        if (!allow_fault) {
+            // Pinned-memory baseline: the page was (conceptually)
+            // mapped before launch; install it with no host work.
+            table.map(vpn, kernel_.frames().allocate());
+            insertIotlb(vpn);
+            cb();
+            return;
+        }
+        queuePpr(pasid, vpn, std::move(cb));
+    }, EventPriority::Device);
+}
+
+void
+Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
+{
+    ++pprs_issued_;
+    SsrRequest request;
+    request.id = next_request_id_++;
+    request.kind = ServiceKind::PageFault;
+    request.pasid = pasid;
+    request.vpn = vpn;
+    request.issued_at = now();
+    const Tick issued = now();
+    request.on_service_complete =
+        [this, vpn, issued, cb = std::move(on_complete)](CpuCore &) {
+            ++faults_resolved_;
+            fault_latency_.sample(static_cast<double>(now() - issued));
+            insertIotlb(vpn);
+            cb();
+        };
+    // Track the PPR inter-arrival EMA for adaptive coalescing.
+    const Tick gap = std::min<Tick>(now() - last_ppr_at_, msToTicks(1));
+    last_ppr_at_ = now();
+    ppr_gap_ema_ = (ppr_gap_ema_ * 7 + gap * 3) / 10;
+
+    ppr_queue_.push_back(std::move(request));
+    considerRaiseMsi();
+}
+
+Tick
+Iommu::effectiveWindow() const
+{
+    if (!params_.adaptive_coalescing)
+        return params_.coalesce_window;
+    // vIC-style: batch hard when requests arrive densely; deliver
+    // promptly when the stream is sparse (waiting would only add
+    // latency, nothing would batch).
+    if (ppr_gap_ema_ >= params_.coalesce_window)
+        return 500;
+    return std::min(std::max<Tick>(ppr_gap_ema_ * 3, 500),
+                    params_.coalesce_window);
+}
+
+void
+Iommu::considerRaiseMsi()
+{
+    if (ppr_queue_.empty() || msi_inflight_)
+        return;
+    if (!params_.coalescing) {
+        raiseMsi();
+        return;
+    }
+    if (ppr_queue_.size() >= params_.coalesce_burst) {
+        if (coalesce_event_ != kInvalidEventId)
+            events().cancel(coalesce_event_);
+        coalesce_event_ = kInvalidEventId;
+        raiseMsi();
+        return;
+    }
+    if (coalesce_event_ == kInvalidEventId
+        || !events().pending(coalesce_event_)) {
+        coalesce_event_ = scheduleAfter(effectiveWindow(), [this] {
+            coalesce_event_ = kInvalidEventId;
+            if (!ppr_queue_.empty() && !msi_inflight_)
+                raiseMsi();
+        }, EventPriority::Device);
+    }
+}
+
+void
+Iommu::raiseMsi()
+{
+    if (driver_ == nullptr)
+        panic("Iommu: raiseMsi with no driver attached");
+    msi_inflight_ = true;
+    ++msis_raised_;
+    const int target = pickTargetCore();
+    scheduleAfter(params_.msi_latency, [this, target] {
+        kernel_.deliverIrq(target, driver_->makeInterrupt());
+    }, EventPriority::Device);
+}
+
+int
+Iommu::pickTargetCore()
+{
+    switch (params_.steering) {
+      case MsiSteering::SingleCore:
+        return params_.steer_core;
+      case MsiSteering::SpreadRoundRobin: {
+        // Lowest-priority-style arbitration: round-robin, but skip
+        // cores in deep idle when an awake core exists (hardware
+        // avoids waking CC6 cores for interrupt delivery when it
+        // can). Distribution stays even across the awake set.
+        const int n = kernel_.numCores();
+        for (int tried = 0; tried < n; ++tried) {
+            const int candidate = rr_next_core_;
+            rr_next_core_ = (rr_next_core_ + 1) % n;
+            if (!kernel_.core(candidate).asleepOrWaking())
+                return candidate;
+        }
+        const int target = rr_next_core_;
+        rr_next_core_ = (rr_next_core_ + 1) % n;
+        return target;
+      }
+    }
+    panic("Iommu: unknown steering policy");
+}
+
+std::vector<SsrRequest>
+Iommu::drain()
+{
+    std::vector<SsrRequest> out;
+    out.reserve(ppr_queue_.size());
+    while (!ppr_queue_.empty()) {
+        out.push_back(std::move(ppr_queue_.front()));
+        ppr_queue_.pop_front();
+    }
+    return out;
+}
+
+void
+Iommu::ack()
+{
+    msi_inflight_ = false;
+    // PPRs that arrived while the interrupt was being handled need a
+    // fresh MSI.
+    considerRaiseMsi();
+}
+
+} // namespace hiss

@@ -1,0 +1,24 @@
+#include "mem/address_space_dir.h"
+
+namespace hiss {
+
+PageTable &
+AddressSpaceDirectory::table(Pasid pasid)
+{
+    auto it = spaces_.find(pasid);
+    if (it == spaces_.end())
+        it = spaces_.emplace(pasid, std::make_unique<PageTable>())
+                 .first;
+    return *it->second;
+}
+
+std::size_t
+AddressSpaceDirectory::totalMapped() const
+{
+    std::size_t total = 0;
+    for (const auto &[pasid, table] : spaces_)
+        total += table->numMapped();
+    return total;
+}
+
+} // namespace hiss

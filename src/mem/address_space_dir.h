@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-process address-space directory.
+ *
+ * Real IOMMUs tag peripheral page requests with a PASID (process
+ * address space ID) and walk that process's page table. The
+ * directory owns one PageTable per PASID; accelerators are bound to
+ * a PASID when their process registers with the driver (the paper's
+ * HSA runtime does this at queue creation).
+ */
+
+#ifndef HISS_MEM_ADDRESS_SPACE_DIR_H_
+#define HISS_MEM_ADDRESS_SPACE_DIR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "mem/page_table.h"
+
+namespace hiss {
+
+/** Process address space identifier. */
+using Pasid = std::uint32_t;
+
+/** Owns the page table of every registered process address space. */
+class AddressSpaceDirectory
+{
+  public:
+    AddressSpaceDirectory() = default;
+    AddressSpaceDirectory(const AddressSpaceDirectory &) = delete;
+    AddressSpaceDirectory &operator=(const AddressSpaceDirectory &) =
+        delete;
+
+    /**
+     * The page table for @p pasid, creating the address space on
+     * first use (process registration).
+     */
+    PageTable &table(Pasid pasid);
+
+    /** @return true if @p pasid has been registered. */
+    bool exists(Pasid pasid) const { return spaces_.count(pasid) > 0; }
+
+    /** Number of registered address spaces. */
+    std::size_t size() const { return spaces_.size(); }
+
+    /** Total mapped pages across all address spaces. */
+    std::size_t totalMapped() const;
+
+  private:
+    std::map<Pasid, std::unique_ptr<PageTable>> spaces_;
+};
+
+} // namespace hiss
+
+#endif // HISS_MEM_ADDRESS_SPACE_DIR_H_

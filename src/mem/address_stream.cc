@@ -1,0 +1,75 @@
+#include "mem/address_stream.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+AddressStream::AddressStream(const MemoryProfile &profile, Addr base,
+                             std::uint64_t seed)
+    : profile_(profile), base_(base), rng_(seed), cursor_(base)
+{
+    if (profile.working_set_bytes == 0)
+        fatal("AddressStream: empty working set");
+    if (profile.hot_set_bytes > profile.working_set_bytes)
+        fatal("AddressStream: hot set larger than working set");
+    if (profile.hot_fraction < 0.0 || profile.hot_fraction > 1.0)
+        fatal("AddressStream: hot_fraction out of [0,1]");
+}
+
+Addr
+AddressStream::next()
+{
+    constexpr Addr line = 64;
+    if (profile_.hot_set_bytes > 0
+        && rng_.withProbability(profile_.hot_fraction)) {
+        // Hot access: uniform within the hot subset.
+        const std::uint64_t lines = profile_.hot_set_bytes / line;
+        const std::uint64_t pick =
+            lines <= 1 ? 0 : rng_.uniformInt(0, lines - 1);
+        return base_ + pick * line;
+    }
+    // Cold access: sequential walk with probability stride_fraction,
+    // else uniform within the full working set.
+    if (rng_.withProbability(profile_.stride_fraction)) {
+        cursor_ += line;
+        if (cursor_ >= base_ + profile_.working_set_bytes)
+            cursor_ = base_;
+        return cursor_;
+    }
+    const std::uint64_t lines = profile_.working_set_bytes / line;
+    const std::uint64_t pick =
+        lines <= 1 ? 0 : rng_.uniformInt(0, lines - 1);
+    return base_ + pick * line;
+}
+
+BranchStream::BranchStream(const BranchProfile &profile, Addr pc_base,
+                           std::uint64_t seed)
+    : profile_(profile), pc_base_(pc_base), rng_(seed)
+{
+    if (profile.static_branches == 0)
+        fatal("BranchStream: need at least one branch site");
+    if (profile.bias_min < 0.0 || profile.bias_max > 1.0
+        || profile.bias_min > profile.bias_max)
+        fatal("BranchStream: invalid bias range [%f, %f]",
+              profile.bias_min, profile.bias_max);
+    biases_.reserve(profile.static_branches);
+    for (std::uint32_t i = 0; i < profile.static_branches; ++i)
+        biases_.push_back(
+            rng_.uniformReal(profile.bias_min, profile.bias_max));
+}
+
+BranchStream::Outcome
+BranchStream::next()
+{
+    const std::uint32_t site = static_cast<std::uint32_t>(
+        rng_.uniformInt(0, biases_.size() - 1));
+    const Addr pc = pc_base_ + static_cast<Addr>(site) * 16;
+    bool taken;
+    if (rng_.withProbability(profile_.pattern_noise))
+        taken = rng_.withProbability(0.5);
+    else
+        taken = rng_.withProbability(biases_[site]);
+    return Outcome{pc, taken};
+}
+
+} // namespace hiss

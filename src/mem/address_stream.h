@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synthetic memory-access and branch streams.
+ *
+ * Workload models do not execute real instructions; instead each
+ * thread owns an AddressStream and a BranchStream parameterized by a
+ * locality profile calibrated per benchmark. The CPU core drives
+ * samples of these streams through its structural L1D and branch
+ * predictor each execution slice, so cache behaviour (and pollution
+ * by kernel handlers sharing the structures) is emergent.
+ */
+
+#ifndef HISS_MEM_ADDRESS_STREAM_H_
+#define HISS_MEM_ADDRESS_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+#include "sim/random.h"
+
+namespace hiss {
+
+/** Locality profile for a synthetic data-access stream. */
+struct MemoryProfile
+{
+    /** Total working-set size in bytes. */
+    std::uint64_t working_set_bytes = 256 * 1024;
+    /** Size of the hot (frequently reused) subset. */
+    std::uint64_t hot_set_bytes = 8 * 1024;
+    /** Fraction of accesses that hit the hot subset. */
+    double hot_fraction = 0.8;
+    /** Fraction of cold accesses that are sequential (next line). */
+    double stride_fraction = 0.5;
+};
+
+/** Control-flow profile for a synthetic branch stream. */
+struct BranchProfile
+{
+    /** Number of distinct static branch sites. */
+    std::uint32_t static_branches = 64;
+    /** Minimum per-branch taken bias (0.5 = unpredictable). */
+    double bias_min = 0.7;
+    /** Maximum per-branch taken bias (1.0 = always taken). */
+    double bias_max = 0.98;
+    /** Probability an outcome ignores its bias and is random. */
+    double pattern_noise = 0.05;
+};
+
+/** Generates a stream of data addresses with tunable locality. */
+class AddressStream
+{
+  public:
+    /**
+     * @param profile locality parameters.
+     * @param base    byte address of this stream's region; distinct
+     *                threads get distinct bases so they do not share
+     *                lines.
+     * @param seed    deterministic stream seed.
+     */
+    AddressStream(const MemoryProfile &profile, Addr base,
+                  std::uint64_t seed);
+
+    /** Next access address. */
+    Addr next();
+
+    const MemoryProfile &profile() const { return profile_; }
+    Addr base() const { return base_; }
+
+  private:
+    MemoryProfile profile_;
+    Addr base_;
+    Rng rng_;
+    Addr cursor_; // Sequential-walk position within the cold region.
+};
+
+/** Generates (pc, taken) branch outcomes with per-site bias. */
+class BranchStream
+{
+  public:
+    /** A single dynamic branch outcome. */
+    struct Outcome
+    {
+        Addr pc;
+        bool taken;
+    };
+
+    /**
+     * @param profile control-flow parameters.
+     * @param pc_base base PC for this stream's branch sites.
+     * @param seed    deterministic stream seed.
+     */
+    BranchStream(const BranchProfile &profile, Addr pc_base,
+                 std::uint64_t seed);
+
+    /** Next dynamic branch. */
+    Outcome next();
+
+    const BranchProfile &profile() const { return profile_; }
+
+  private:
+    BranchProfile profile_;
+    Addr pc_base_;
+    Rng rng_;
+    std::vector<double> biases_; // Per-site taken probability.
+};
+
+} // namespace hiss
+
+#endif // HISS_MEM_ADDRESS_STREAM_H_

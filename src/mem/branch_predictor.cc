@@ -1,0 +1,75 @@
+#include "mem/branch_predictor.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params)
+    : params_(params)
+{
+    if (params.table_bits == 0 || params.table_bits > 24)
+        fatal("branch predictor table_bits out of range: %u",
+              params.table_bits);
+    if (params.history_bits > 32)
+        fatal("branch predictor history_bits out of range: %u",
+              params.history_bits);
+    mask_ = (std::uint32_t{1} << params.table_bits) - 1;
+    table_.assign(std::size_t{1} << params.table_bits, 2); // weakly taken
+}
+
+std::uint32_t
+BranchPredictor::index(Addr pc) const
+{
+    const auto pc_bits = static_cast<std::uint32_t>(pc >> 2);
+    const std::uint32_t hist_mask =
+        params_.history_bits >= 32
+            ? ~std::uint32_t{0}
+            : (std::uint32_t{1} << params_.history_bits) - 1;
+    return (pc_bits ^ (history_ & hist_mask)) & mask_;
+}
+
+bool
+BranchPredictor::predict(Addr pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+bool
+BranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    const std::uint32_t idx = index(pc);
+    const bool prediction = table_[idx] >= 2;
+    const bool correct = prediction == taken;
+
+    ++lookups_;
+    if (!correct)
+        ++mispredicts_;
+
+    // Update the 2-bit saturating counter.
+    if (taken && table_[idx] < 3)
+        ++table_[idx];
+    else if (!taken && table_[idx] > 0)
+        --table_[idx];
+
+    // Shift the outcome into global history.
+    history_ = (history_ << 1) | static_cast<std::uint32_t>(taken);
+
+    return correct;
+}
+
+void
+BranchPredictor::resetCounters()
+{
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+void
+BranchPredictor::reset()
+{
+    table_.assign(table_.size(), 2);
+    history_ = 0;
+    resetCounters();
+}
+
+} // namespace hiss

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gshare branch predictor model.
+ *
+ * Global-history XOR PC indexing into a table of 2-bit saturating
+ * counters. Like the cache model, one instance per core is shared by
+ * user and kernel control flow so that SSR handlers pollute the
+ * pattern table and history (paper Fig. 5b).
+ */
+
+#ifndef HISS_MEM_BRANCH_PREDICTOR_H_
+#define HISS_MEM_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h" // for Addr
+
+namespace hiss {
+
+/** Parameters for the gshare predictor. */
+struct BranchPredictorParams
+{
+    std::uint32_t table_bits = 12; ///< log2(pattern-table entries).
+    std::uint32_t history_bits = 12; ///< Global history length.
+};
+
+/** A gshare predictor with 2-bit saturating counters. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Predict the branch at @p pc, then update with the actual
+     * @p taken outcome.
+     * @return true if the prediction was correct.
+     */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    /** Prediction without state update (for inspection in tests). */
+    bool predict(Addr pc) const;
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Misprediction ratio so far (0 if no lookups). */
+    double
+    mispredictRate() const
+    {
+        return lookups_ == 0
+            ? 0.0
+            : static_cast<double>(mispredicts_)
+                  / static_cast<double>(lookups_);
+    }
+
+    /** Zero the lookup/mispredict counters (tables are kept). */
+    void resetCounters();
+
+    /** Reset tables, history, and counters. */
+    void reset();
+
+  private:
+    std::uint32_t index(Addr pc) const;
+
+    BranchPredictorParams params_;
+    std::uint32_t mask_;
+    std::uint32_t history_ = 0;
+    std::vector<std::uint8_t> table_; // 2-bit counters, init weakly taken.
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace hiss
+
+#endif // HISS_MEM_BRANCH_PREDICTOR_H_

@@ -1,0 +1,111 @@
+#include "mem/cache.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t v)
+{
+    std::uint32_t s = 0;
+    while ((std::uint64_t{1} << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    if (params.line_bytes == 0 || !isPowerOfTwo(params.line_bytes))
+        fatal("cache line size must be a power of two, got %u",
+              params.line_bytes);
+    if (params.assoc == 0)
+        fatal("cache associativity must be positive");
+    if (params.size_bytes % (params.line_bytes * params.assoc) != 0)
+        fatal("cache size %u not divisible by way size", params.size_bytes);
+    num_sets_ = params.size_bytes / (params.line_bytes * params.assoc);
+    if (!isPowerOfTwo(num_sets_))
+        fatal("cache set count %u must be a power of two", num_sets_);
+    line_shift_ = log2u(params.line_bytes);
+    lines_.resize(static_cast<std::size_t>(num_sets_) * params.assoc);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> line_shift_)
+                                      & (num_sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> line_shift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++accesses_;
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    Line *victim = base;
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++use_clock_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++use_clock_;
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+    ++flushes_;
+}
+
+void
+Cache::resetCounters()
+{
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace hiss

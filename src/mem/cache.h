@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Structural set-associative cache model.
+ *
+ * Tag-only (no data payload), true-LRU replacement. Used as the
+ * per-core L1D: user workloads and kernel SSR handlers drive their
+ * address streams through the same instance, so kernel pollution of
+ * user state is an emergent property rather than a fudge factor
+ * (paper Fig. 5a).
+ */
+
+#ifndef HISS_MEM_CACHE_H_
+#define HISS_MEM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hiss {
+
+/** Physical or virtual byte address (the model does not care which). */
+using Addr = std::uint64_t;
+
+/** Geometry and behaviour parameters for a Cache. */
+struct CacheParams
+{
+    std::uint32_t size_bytes = 16 * 1024; ///< Total capacity.
+    std::uint32_t assoc = 4;              ///< Ways per set.
+    std::uint32_t line_bytes = 64;        ///< Line size.
+};
+
+/** A set-associative, true-LRU, tag-only cache model. */
+class Cache
+{
+  public:
+    /** @throws FatalError on non-power-of-two or inconsistent geometry. */
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up @p addr, allocating on miss.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** @return true if @p addr is currently resident (no side effects). */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the whole cache (e.g. on CC6 entry, which flushes). */
+    void flush();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t flushes() const { return flushes_; }
+
+    /** Miss ratio so far (0 if no accesses). */
+    double
+    missRate() const
+    {
+        return accesses_ == 0
+            ? 0.0
+            : static_cast<double>(misses_) / static_cast<double>(accesses_);
+    }
+
+    /** Zero the access/miss counters (contents are kept). */
+    void resetCounters();
+
+    std::uint32_t numSets() const { return num_sets_; }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0; // Higher = more recently used.
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint32_t num_sets_;
+    std::uint32_t line_shift_;
+    std::vector<Line> lines_; // num_sets_ * assoc, set-major.
+    std::uint64_t use_clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace hiss
+
+#endif // HISS_MEM_CACHE_H_

@@ -1,0 +1,39 @@
+#include "mem/page_table.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+void
+PageTable::map(Vpn vpn, Pfn pfn)
+{
+    const auto [it, inserted] = map_.emplace(vpn, pfn);
+    (void)it;
+    if (!inserted)
+        panic("PageTable: double-mapping vpn %llu",
+              static_cast<unsigned long long>(vpn));
+}
+
+Pfn
+PageTable::unmap(Vpn vpn)
+{
+    const auto it = map_.find(vpn);
+    if (it == map_.end())
+        panic("PageTable: unmapping absent vpn %llu",
+              static_cast<unsigned long long>(vpn));
+    const Pfn pfn = it->second;
+    map_.erase(it);
+    return pfn;
+}
+
+bool
+PageTable::translate(Vpn vpn, Pfn &pfn) const
+{
+    const auto it = map_.find(vpn);
+    if (it == map_.end())
+        return false;
+    pfn = it->second;
+    return true;
+}
+
+} // namespace hiss

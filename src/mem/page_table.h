@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-address-space page table.
+ *
+ * Maps 4 KiB virtual pages to physical frames. The IOMMU's
+ * page-table walker consults this on GPU translation requests; an
+ * unmapped page produces the peripheral page request (PPR) that
+ * drives the whole SSR pipeline. The OS page-fault service maps
+ * pages on demand.
+ */
+
+#ifndef HISS_MEM_PAGE_TABLE_H_
+#define HISS_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/cache.h" // for Addr
+
+namespace hiss {
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Page size used throughout the model. */
+inline constexpr std::uint64_t kPageBytes = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+
+/** Virtual address to virtual page number. */
+constexpr Vpn
+vpnOf(Addr va)
+{
+    return va >> kPageShift;
+}
+
+/** A single address space's VPN -> PFN mapping. */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    /** @return true if @p vpn has a valid translation. */
+    bool isMapped(Vpn vpn) const { return map_.count(vpn) > 0; }
+
+    /**
+     * Install a translation. Remapping an already-mapped page is an
+     * internal error (panics): the SSR pipeline must not double-map.
+     */
+    void map(Vpn vpn, Pfn pfn);
+
+    /** Remove a translation; panics if absent. */
+    Pfn unmap(Vpn vpn);
+
+    /**
+     * Translate @p vpn.
+     * @param[out] pfn the frame on success.
+     * @return false on page fault (no translation).
+     */
+    bool translate(Vpn vpn, Pfn &pfn) const;
+
+    /** Number of mapped pages. */
+    std::size_t numMapped() const { return map_.size(); }
+
+    /** Drop every mapping (process teardown). */
+    void clear() { map_.clear(); }
+
+  private:
+    std::unordered_map<Vpn, Pfn> map_;
+};
+
+} // namespace hiss
+
+#endif // HISS_MEM_PAGE_TABLE_H_

@@ -1,0 +1,176 @@
+#include "os/kernel.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+Kernel::Kernel(SimContext &ctx, int num_cores,
+               const CpuCoreParams &core_params, const KernelParams &params)
+    : SimObject(ctx, "kernel"),
+      params_(params),
+      proc_stats_(static_cast<std::size_t>(num_cores)),
+      frames_(params.dram_frames)
+{
+    if (num_cores <= 0)
+        fatal("Kernel: need at least one core");
+
+    cores_.reserve(static_cast<std::size_t>(num_cores));
+    for (int i = 0; i < num_cores; ++i)
+        cores_.push_back(
+            std::make_unique<CpuCore>(ctx, i, core_params, *this));
+
+    scheduler_ = std::make_unique<Scheduler>(ctx, corePointers(),
+                                             params.sched);
+    services_ = std::make_unique<SystemServices>(
+        ctx, spaces_, frames_, params.service_costs);
+    work_queue_ = std::make_unique<WorkQueue>(ctx, "ssr_wq", *scheduler_,
+                                              num_cores);
+
+    if (params.qos.enabled) {
+        qos_governor_ = std::make_unique<QosGovernor>(ctx, corePointers(),
+                                                      params.qos);
+        Thread *gov = createThread("qos_governor", kPrioGovernor,
+                                   qos_governor_.get());
+        scheduler_->start(gov);
+    }
+
+    // Per-CPU bound kworkers: one per core, pinned (Linux-style
+    // bound workqueue, as amd_iommu_v2 allocates).
+    for (int i = 0; i < num_cores; ++i) {
+        worker_models_.push_back(std::make_unique<WorkerModel>(
+            *work_queue_, i, qos_governor_.get()));
+        Thread *worker =
+            createThread("kworker/" + std::to_string(i), kPrioWorker,
+                         worker_models_.back().get(), i);
+        work_queue_->addWorker(worker, i);
+    }
+
+    if (params.housekeeping_period > 0) {
+        for (int i = 0; i < num_cores; ++i) {
+            // Stagger first fires so cores do not tick in lockstep.
+            const Tick first = params.housekeeping_period
+                * static_cast<Tick>(i + 1)
+                / static_cast<Tick>(num_cores);
+            startHousekeepingTimer(i, first);
+        }
+    }
+}
+
+Kernel::~Kernel() = default;
+
+std::vector<CpuCore *>
+Kernel::corePointers()
+{
+    std::vector<CpuCore *> out;
+    out.reserve(cores_.size());
+    for (const auto &core : cores_)
+        out.push_back(core.get());
+    return out;
+}
+
+void
+Kernel::coreIdle(CpuCore &core)
+{
+    scheduler_->onCoreIdle(core);
+}
+
+void
+Kernel::coreBoundary(CpuCore &core)
+{
+    scheduler_->onCoreBoundary(core);
+}
+
+void
+Kernel::threadYielded(CpuCore &core, Thread &thread,
+                      const BurstRequest &request)
+{
+    (void)core;
+    switch (request.kind) {
+      case BurstRequest::Kind::Sleep:
+        scheduler_->sleepThread(&thread, request.duration);
+        return;
+      case BurstRequest::Kind::Block:
+        scheduler_->blockThread(&thread);
+        return;
+      case BurstRequest::Kind::Finish:
+        scheduler_->finishThread(&thread);
+        return;
+      case BurstRequest::Kind::Run:
+        break;
+    }
+    panic("Kernel: threadYielded with a Run burst");
+}
+
+SsrDriver &
+Kernel::attachSsrSource(const std::string &name, RequestSource &source,
+                        const SsrDriverParams &driver_params,
+                        int bh_affinity)
+{
+    drivers_.push_back(std::make_unique<SsrDriver>(
+        ctx(), name, driver_params, source, *services_, *work_queue_,
+        *scheduler_));
+    SsrDriver &driver = *drivers_.back();
+    if (!driver_params.monolithic_bottom_half) {
+        // The bottom half is a workqueue item in amd_iommu_v2, i.e.
+        // a normal-priority kworker whose wakeup contends with user
+        // threads — the latency the monolithic mitigation removes.
+        Thread *bh = createThread(name + "_bh", kPrioWorker,
+                                  &driver.bottomHalfModel(), bh_affinity);
+        driver.setBottomHalfThread(bh);
+    }
+    return driver;
+}
+
+void
+Kernel::deliverIrq(int core_index, Irq irq)
+{
+    if (core_index < 0
+        || static_cast<std::size_t>(core_index) >= cores_.size())
+        panic("Kernel: deliverIrq to bad core %d", core_index);
+    proc_stats_.countIrq(irq.label, core_index);
+    cores_[static_cast<std::size_t>(core_index)]->postInterrupt(
+        std::move(irq));
+}
+
+Thread *
+Kernel::createThread(const std::string &name, Priority prio,
+                     ExecutionModel *model, int affinity)
+{
+    threads_.push_back(std::make_unique<Thread>(next_thread_id_++, name,
+                                                prio, model, affinity));
+    return threads_.back().get();
+}
+
+void
+Kernel::startHousekeepingTimer(int core_index, Tick first_fire)
+{
+    scheduleAfter(first_fire, [this, core_index] {
+        Irq timer;
+        timer.label = "timer";
+        timer.ssr_related = false;
+        timer.footprint_accesses = 96;
+        timer.footprint_branches = 800;
+        const Tick cost = params_.housekeeping_cost;
+        timer.on_start = [cost](CpuCore &) { return cost; };
+        deliverIrq(core_index, std::move(timer));
+        startHousekeepingTimer(core_index, params_.housekeeping_period);
+    }, EventPriority::Device);
+}
+
+Tick
+Kernel::totalSsrTicks() const
+{
+    Tick total = 0;
+    for (const auto &core : cores_)
+        total += core->ssrTicks();
+    return total;
+}
+
+void
+Kernel::finalizeStats()
+{
+    for (const auto &core : cores_)
+        core->finalizeStats();
+}
+
+} // namespace hiss

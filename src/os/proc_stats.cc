@@ -1,0 +1,76 @@
+#include "os/proc_stats.h"
+
+#include <iomanip>
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+ProcStats::ProcStats(std::size_t num_cores) : num_cores_(num_cores)
+{
+    if (num_cores == 0)
+        fatal("ProcStats: zero cores");
+}
+
+void
+ProcStats::countIrq(const std::string &label, int core)
+{
+    if (core < 0 || static_cast<std::size_t>(core) >= num_cores_)
+        panic("ProcStats: bad core index %d", core);
+    auto it = counts_.find(label);
+    if (it == counts_.end())
+        it = counts_.emplace(label,
+                             std::vector<std::uint64_t>(num_cores_, 0))
+                 .first;
+    ++it->second[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t
+ProcStats::irqCount(const std::string &label, int core) const
+{
+    const auto it = counts_.find(label);
+    if (it == counts_.end())
+        return 0;
+    if (core < 0 || static_cast<std::size_t>(core) >= num_cores_)
+        return 0;
+    return it->second[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t
+ProcStats::totalFor(const std::string &label) const
+{
+    const auto it = counts_.find(label);
+    if (it == counts_.end())
+        return 0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : it->second)
+        total += c;
+    return total;
+}
+
+std::vector<std::string>
+ProcStats::labels() const
+{
+    std::vector<std::string> out;
+    out.reserve(counts_.size());
+    for (const auto &[label, counts] : counts_)
+        out.push_back(label);
+    return out;
+}
+
+void
+ProcStats::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(20) << "irq";
+    for (std::size_t i = 0; i < num_cores_; ++i)
+        os << std::right << std::setw(12) << ("CPU" + std::to_string(i));
+    os << '\n';
+    for (const auto &[label, counts] : counts_) {
+        os << std::left << std::setw(20) << label;
+        for (const std::uint64_t c : counts)
+            os << std::right << std::setw(12) << c;
+        os << '\n';
+    }
+}
+
+} // namespace hiss

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A /proc/interrupts mirror.
+ *
+ * Counts interrupt deliveries per (label, core), which is how the
+ * paper observed that IOMMU SSR interrupts are spread evenly across
+ * all CPUs by default (Section IV-C).
+ */
+
+#ifndef HISS_OS_PROC_STATS_H_
+#define HISS_OS_PROC_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hiss {
+
+/** Per-label, per-core interrupt delivery counts. */
+class ProcStats
+{
+  public:
+    explicit ProcStats(std::size_t num_cores);
+
+    /** Record one delivery of @p label to @p core. */
+    void countIrq(const std::string &label, int core);
+
+    /** Deliveries of @p label to @p core. */
+    std::uint64_t irqCount(const std::string &label, int core) const;
+
+    /** Total deliveries of @p label across cores. */
+    std::uint64_t totalFor(const std::string &label) const;
+
+    /** All labels seen so far. */
+    std::vector<std::string> labels() const;
+
+    /** Render a /proc/interrupts-style table. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::size_t num_cores_;
+    std::map<std::string, std::vector<std::uint64_t>> counts_;
+};
+
+} // namespace hiss
+
+#endif // HISS_OS_PROC_STATS_H_

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * System service implementations (paper Table I).
+ *
+ * Converts a device service request into the deferred kernel work
+ * that actually performs it: a soft page fault allocates a frame and
+ * maps it into the requesting process's page table; a signal wakes
+ * the target; memory allocation, file reads, and page migration are
+ * progressively heavier (the paper's Low / Moderate / High
+ * complexity tiers).
+ */
+
+#ifndef HISS_OS_SERVICES_H_
+#define HISS_OS_SERVICES_H_
+
+#include <functional>
+#include <string>
+
+#include "mem/address_space_dir.h"
+#include "mem/frame_allocator.h"
+#include "mem/page_table.h"
+#include "os/workqueue.h"
+#include "sim/sim_object.h"
+
+namespace hiss {
+
+/** The kinds of system services an accelerator can request. */
+enum class ServiceKind {
+    Signal,        ///< Notify another process (low complexity).
+    PageFault,     ///< Demand-page a GPU access (moderate-high).
+    MemAlloc,      ///< Allocate/free memory from the GPU (moderate).
+    FileRead,      ///< File system access from the GPU (high).
+    PageMigration, ///< GPU-initiated NUMA page migration (high).
+};
+
+/** Printable name of a ServiceKind. */
+const char *serviceKindName(ServiceKind kind);
+
+/** One service request as it travels down the handling chain. */
+struct SsrRequest
+{
+    std::uint64_t id = 0;
+    ServiceKind kind = ServiceKind::PageFault;
+    /** Requesting process address space (IOMMU PPRs carry PASIDs). */
+    Pasid pasid = 0;
+    /** Faulting virtual page (PageFault / PageMigration). */
+    Vpn vpn = 0;
+    /** When the device raised the request (latency accounting). */
+    Tick issued_at = 0;
+    /** When the top half drained it from the device queue (step 3). */
+    Tick drained_at = 0;
+    /** When the bottom half queued the bulk work (step 4b). */
+    Tick queued_at = 0;
+    /** Device-side completion callback (step 6 in Fig. 1). */
+    std::function<void(CpuCore &)> on_service_complete;
+};
+
+/**
+ * Per-stage latency decomposition of the SSR pipeline — a
+ * quantified version of the paper's Fig. 2 timeline. All values are
+ * distributions over serviced requests, in ticks.
+ */
+struct SsrStageStats
+{
+    /** Device issue -> top-half drain (MSI delivery, wake, hardirq
+     *  queueing: the 2->3 arrows). */
+    Distribution *issue_to_drain = nullptr;
+    /** Top-half drain -> work queued (bottom-half wake + scheduling
+     *  + pre-processing: the 3a->4b arrows). */
+    Distribution *drain_to_queue = nullptr;
+    /** Work queued -> kworker starts servicing (step 5 scheduling
+     *  delay). */
+    Distribution *queue_to_service = nullptr;
+    /** Kworker service start -> completion (step 5 execution,
+     *  including preemption by other work). */
+    Distribution *service_to_done = nullptr;
+    /** Device issue -> completion (whole pipeline). */
+    Distribution *total = nullptr;
+};
+
+/** Mean service CPU costs per kind, in ticks (ns). */
+struct ServiceCostParams
+{
+    Tick signal = 900;
+    Tick page_fault = 2300;
+    Tick mem_alloc = 1900;
+    Tick file_read = 9500;
+    Tick page_migration = 14000;
+    /** Uniform cost jitter: actual = mean * (1 +/- jitter). */
+    double jitter = 0.15;
+};
+
+/** Builds WorkItems that perform system services. */
+class SystemServices : public SimObject
+{
+  public:
+    /**
+     * @param spaces the per-PASID address-space directory (faults
+     *        map into the requesting process's table).
+     * @param frames physical frame pool for demand paging.
+     */
+    SystemServices(SimContext &ctx, AddressSpaceDirectory &spaces,
+                   FrameAllocator &frames,
+                   const ServiceCostParams &costs = {});
+
+    /**
+     * Create the deferred work that services @p request. The item's
+     * completion applies the service's side effects and then invokes
+     * the request's device callback.
+     */
+    WorkItem makeWorkItem(SsrRequest request);
+
+    /** Mean cost of a service kind (pre-jitter), for benches/tests. */
+    Tick meanCost(ServiceKind kind) const;
+
+    std::uint64_t serviced(ServiceKind kind) const;
+    std::uint64_t totalServiced() const { return total_serviced_; }
+
+    /** Per-stage latency decomposition (Fig. 2 quantified). */
+    const SsrStageStats &stageStats() const { return stages_; }
+
+  private:
+    Tick sampleCost(ServiceKind kind);
+    void applyEffects(const SsrRequest &request);
+
+    AddressSpaceDirectory &spaces_;
+    FrameAllocator &frames_;
+    ServiceCostParams costs_;
+    std::uint64_t serviced_by_kind_[5] = {0, 0, 0, 0, 0};
+    std::uint64_t total_serviced_ = 0;
+    Distribution &latency_;
+    SsrStageStats stages_;
+};
+
+} // namespace hiss
+
+#endif // HISS_OS_SERVICES_H_

@@ -1,0 +1,129 @@
+#include "os/ssr_driver.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+SsrDriver::SsrDriver(SimContext &ctx, const std::string &name,
+                     const SsrDriverParams &params, RequestSource &source,
+                     SystemServices &services, WorkQueue &work_queue,
+                     Scheduler &scheduler)
+    : SimObject(ctx, name),
+      params_(params),
+      source_(source),
+      services_(services),
+      work_queue_(work_queue),
+      scheduler_(scheduler),
+      bh_model_(*this)
+{
+    stats().addFormula(name + ".interrupts", "SSR interrupts handled",
+                       [this] {
+                           return static_cast<double>(interrupts_);
+                       });
+    stats().addFormula(name + ".requests", "SSR requests drained",
+                       [this] {
+                           return static_cast<double>(requests_drained_);
+                       });
+}
+
+void
+SsrDriver::queueToWorker(SsrRequest request, CpuCore &core)
+{
+    request.queued_at = core.now();
+    work_queue_.push(services_.makeWorkItem(std::move(request)), &core);
+}
+
+Irq
+SsrDriver::makeInterrupt()
+{
+    Irq irq;
+    irq.label = name();
+    irq.ssr_related = true;
+    irq.footprint_accesses = params_.top_footprint_accesses;
+    irq.footprint_branches = params_.top_footprint_branches;
+    irq.on_start = [this](CpuCore &core) -> Tick {
+        ++interrupts_;
+        std::vector<SsrRequest> drained = source_.drain();
+        requests_drained_ += drained.size();
+        const auto n = static_cast<Tick>(drained.size());
+        for (SsrRequest &request : drained) {
+            request.drained_at = core.now();
+            pending_.push_back(std::move(request));
+        }
+        Tick duration =
+            params_.top_half_base + params_.top_half_per_entry * n;
+        if (params_.monolithic_bottom_half) {
+            // Pre-processing executes in hardirq context (Section V-C).
+            duration += params_.bottom_half_base
+                + params_.bottom_half_per_entry * n;
+        }
+        return duration;
+    };
+    irq.on_complete = [this](CpuCore &core) {
+        source_.ack();
+        if (pending_.empty())
+            return;
+        if (params_.monolithic_bottom_half) {
+            while (!pending_.empty()) {
+                SsrRequest request = std::move(pending_.front());
+                pending_.pop_front();
+                queueToWorker(std::move(request), core);
+            }
+        } else {
+            if (bh_thread_ == nullptr)
+                panic("%s: no bottom-half thread configured",
+                      name().c_str());
+            scheduler_.wake(bh_thread_, &core);
+        }
+    };
+    return irq;
+}
+
+BurstRequest
+SsrDriver::BottomHalfModel::nextBurst(CpuCore &core)
+{
+    (void)core;
+    BurstRequest br;
+    if (!in_entry_) {
+        if (driver_.pending_.empty()) {
+            fresh_wake_ = true;
+            br.kind = BurstRequest::Kind::Block;
+            return br;
+        }
+        remaining_ = driver_.params_.bottom_half_per_entry;
+        if (fresh_wake_) {
+            remaining_ += driver_.params_.bottom_half_base;
+            fresh_wake_ = false;
+        }
+        in_entry_ = true;
+    }
+    br.kind = BurstRequest::Kind::Run;
+    br.duration = remaining_;
+    br.kernel_mode = true;
+    br.ssr_work = true;
+    br.mem_accesses = driver_.params_.bh_footprint_accesses;
+    br.branches = driver_.params_.bh_footprint_branches;
+    return br;
+}
+
+void
+SsrDriver::BottomHalfModel::onBurstDone(CpuCore &core, Tick ran,
+                                        std::uint64_t instructions_done,
+                                        bool completed)
+{
+    (void)instructions_done;
+    if (!in_entry_)
+        panic("BottomHalfModel: completion without an entry");
+    if (!completed) {
+        remaining_ = ran >= remaining_ ? 1 : remaining_ - ran;
+        return;
+    }
+    in_entry_ = false;
+    if (driver_.pending_.empty())
+        panic("BottomHalfModel: pending queue emptied mid-entry");
+    SsrRequest request = std::move(driver_.pending_.front());
+    driver_.pending_.pop_front();
+    driver_.queueToWorker(std::move(request), core);
+}
+
+} // namespace hiss

@@ -1,0 +1,17 @@
+#include "os/thread.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+Thread::Thread(int id, std::string name, Priority prio,
+               ExecutionModel *model, int affinity)
+    : id_(id), name_(std::move(name)), prio_(prio), model_(model),
+      affinity_(affinity)
+{
+    if (model == nullptr)
+        panic("Thread %s constructed without an execution model",
+              name_.c_str());
+}
+
+} // namespace hiss

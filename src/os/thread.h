@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Threads and their execution models.
+ *
+ * A Thread is a schedulable entity (user application thread, bottom
+ * half kthread, kworker, QoS governor thread). What the thread
+ * *does* with CPU time is delegated to its ExecutionModel, which
+ * hands the core a sequence of bursts. User workload bursts have a
+ * fixed instruction budget whose duration depends on the core's live
+ * microarchitectural state; kernel bursts have fixed durations and a
+ * kernel footprint that pollutes that state.
+ */
+
+#ifndef HISS_OS_THREAD_H_
+#define HISS_OS_THREAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address_stream.h"
+#include "sim/ticks.h"
+
+namespace hiss {
+
+class CpuCore;
+class Thread;
+
+/** Scheduler priority: lower value = more urgent. */
+using Priority = int;
+
+/** Priority of threaded interrupt bottom halves (preempt everything). */
+inline constexpr Priority kPrioBottomHalf = 1;
+/** Priority of the QoS governor's sampling thread. */
+inline constexpr Priority kPrioGovernor = 2;
+/** Priority of kworker threads (competes with user work, like
+ *  SCHED_OTHER kworkers in Linux). */
+inline constexpr Priority kPrioWorker = 100;
+/** Priority of user application threads. */
+inline constexpr Priority kPrioUser = 100;
+
+/** No core-affinity restriction. */
+inline constexpr int kAffinityAny = -1;
+
+/** What a thread wants to do with its next stretch of CPU time. */
+struct BurstRequest
+{
+    enum class Kind {
+        Run,    ///< Execute on the core for the described burst.
+        Sleep,  ///< Yield the CPU and re-wake after `duration`.
+        Block,  ///< Yield indefinitely; someone will wake the thread.
+        Finish, ///< Thread has terminated.
+    };
+
+    Kind kind = Kind::Block;
+
+    /**
+     * Run: instruction budget (duration computed from live CPI).
+     * Zero means "kernel burst": `duration` ticks of fixed-time work.
+     */
+    std::uint64_t instructions = 0;
+
+    /** Run (kernel burst): fixed duration. Sleep: sleep length. */
+    Tick duration = 0;
+
+    /** True if this burst executes in kernel mode (SSR accounting). */
+    bool kernel_mode = false;
+
+    /** True if this kernel burst is part of SSR handling (QoS). */
+    bool ssr_work = false;
+
+    /** Footprint to drive through the core's L1D/BP this burst. */
+    std::uint32_t mem_accesses = 0;
+    std::uint32_t branches = 0;
+
+    /** Streams the footprint draws from (may be null: no footprint). */
+    AddressStream *astream = nullptr;
+    BranchStream *bstream = nullptr;
+
+    /** Base CPI for instruction-budget bursts. */
+    double base_cpi = 1.0;
+};
+
+/** Supplies a thread's bursts and receives progress callbacks. */
+class ExecutionModel
+{
+  public:
+    virtual ~ExecutionModel() = default;
+
+    /** Decide the thread's next burst; called when it is dispatched
+     *  or when its previous burst completed. */
+    virtual BurstRequest nextBurst(CpuCore &core) = 0;
+
+    /**
+     * A Run burst ended.
+     * @param ran        ticks actually executed.
+     * @param instructions_done instructions retired this burst.
+     * @param completed  false if the burst was preempted early.
+     */
+    virtual void onBurstDone(CpuCore &core, Tick ran,
+                             std::uint64_t instructions_done,
+                             bool completed) = 0;
+};
+
+/** Thread run-state as seen by the scheduler. */
+enum class ThreadState {
+    Created,  ///< Not yet started.
+    Ready,    ///< Runnable, waiting for a core.
+    Running,  ///< Currently on a core.
+    Sleeping, ///< In a timed sleep.
+    Blocked,  ///< Waiting for an event (work arrival, barrier, ...).
+    Finished, ///< Terminated.
+};
+
+/** A schedulable entity. */
+class Thread
+{
+  public:
+    /**
+     * @param id       unique thread id (assigned by the kernel).
+     * @param name     debug name ("kworker/1", "x264.t2").
+     * @param prio     scheduler priority; lower is more urgent.
+     * @param model    burst supplier; not owned, must outlive thread.
+     * @param affinity pinned core index or kAffinityAny.
+     */
+    Thread(int id, std::string name, Priority prio,
+           ExecutionModel *model, int affinity = kAffinityAny);
+
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    Priority priority() const { return prio_; }
+    int affinity() const { return affinity_; }
+
+    /** Re-pin the thread (threaded irq handlers follow their irq's
+     *  affinity; takes effect at the next wakeup placement). */
+    void setAffinity(int affinity) { affinity_ = affinity; }
+
+    ExecutionModel &model() { return *model_; }
+
+    ThreadState state() const { return state_; }
+    void setState(ThreadState s) { state_ = s; }
+
+    /** Core the thread last ran on (cache-affinity hint), or -1. */
+    int lastCore() const { return last_core_; }
+    void setLastCore(int core) { last_core_ = core; }
+
+    /** Ticks of CPU consumed since last dispatched to a core; used
+     *  for wakeup-preemption granularity decisions. */
+    Tick ranSinceDispatch() const { return ran_since_dispatch_; }
+    void resetRunClock() { ran_since_dispatch_ = 0; }
+    void addRunTime(Tick t) { ran_since_dispatch_ += t; }
+
+    /** Total CPU time this thread has consumed. */
+    Tick totalCpuTime() const { return total_cpu_; }
+    void addTotalCpuTime(Tick t) { total_cpu_ += t; }
+
+    /** When the thread last became Ready (runqueue fairness). */
+    Tick readySince() const { return ready_since_; }
+    void setReadySince(Tick t) { ready_since_ = t; }
+
+    /**
+     * Update the thread's recent CPU-share estimate at a wakeup
+     * (CFS-vruntime-like: mostly-sleeping threads preempt promptly,
+     * CPU-heavy ones wait out the wakeup granularity).
+     */
+    void
+    noteWake(Tick now)
+    {
+        if (now > last_wake_time_) {
+            const double share =
+                static_cast<double>(total_cpu_ - cpu_at_last_wake_)
+                / static_cast<double>(now - last_wake_time_);
+            recent_share_ = 0.5 * recent_share_ + 0.5 * share;
+        }
+        last_wake_time_ = now;
+        cpu_at_last_wake_ = total_cpu_;
+    }
+
+    /** Recent fraction of wall time spent on-CPU (0 = sleeper). */
+    double recentShare() const { return recent_share_; }
+
+  private:
+    int id_;
+    std::string name_;
+    Priority prio_;
+    ExecutionModel *model_;
+    int affinity_;
+    ThreadState state_ = ThreadState::Created;
+    int last_core_ = -1;
+    Tick ran_since_dispatch_ = 0;
+    Tick total_cpu_ = 0;
+    Tick ready_since_ = 0;
+    Tick last_wake_time_ = 0;
+    Tick cpu_at_last_wake_ = 0;
+    double recent_share_ = 0.0;
+};
+
+} // namespace hiss
+
+#endif // HISS_OS_THREAD_H_

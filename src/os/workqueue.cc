@@ -1,0 +1,134 @@
+#include "os/workqueue.h"
+
+#include "os/qos_governor.h"
+#include "sim/logging.h"
+
+namespace hiss {
+
+WorkQueue::WorkQueue(SimContext &ctx, const std::string &name,
+                     Scheduler &scheduler, int num_cores)
+    : SimObject(ctx, name),
+      scheduler_(scheduler),
+      queues_(static_cast<std::size_t>(num_cores)),
+      workers_(static_cast<std::size_t>(num_cores), nullptr),
+      latency_(ctx.stats.addDistribution(name + ".latency",
+                                         "push-to-service latency (ticks)"))
+{
+    if (num_cores <= 0)
+        fatal("WorkQueue %s: need at least one core", name.c_str());
+    stats().addFormula(name + ".pushed", "work items enqueued",
+                       [this] { return static_cast<double>(pushed_); });
+    stats().addFormula(name + ".completed", "work items completed",
+                       [this] { return static_cast<double>(completed_); });
+}
+
+void
+WorkQueue::addWorker(Thread *worker, int core)
+{
+    if (core < 0 || static_cast<std::size_t>(core) >= workers_.size())
+        fatal("WorkQueue %s: bad worker core %d", name().c_str(), core);
+    workers_[static_cast<std::size_t>(core)] = worker;
+}
+
+void
+WorkQueue::push(WorkItem item, CpuCore *from)
+{
+    const int core = from != nullptr ? from->index() : 0;
+    item.enqueued_at = now();
+    queues_[static_cast<std::size_t>(core)].push_back(std::move(item));
+    ++pushed_;
+    Thread *worker = workers_[static_cast<std::size_t>(core)];
+    if (worker == nullptr)
+        panic("WorkQueue %s: no kworker bound to core %d",
+              name().c_str(), core);
+    const ThreadState s = worker->state();
+    if (s == ThreadState::Blocked || s == ThreadState::Created)
+        scheduler_.wake(worker, from);
+}
+
+std::size_t
+WorkQueue::totalDepth() const
+{
+    std::size_t total = 0;
+    for (const auto &queue : queues_)
+        total += queue.size();
+    return total;
+}
+
+WorkItem
+WorkQueue::pop(int core)
+{
+    auto &queue = queues_[static_cast<std::size_t>(core)];
+    if (queue.empty())
+        panic("WorkQueue %s: pop on empty core-%d queue",
+              name().c_str(), core);
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+    return item;
+}
+
+WorkerModel::WorkerModel(WorkQueue &queue, int core, QosGovernor *governor)
+    : queue_(queue), core_(core), governor_(governor)
+{
+}
+
+BurstRequest
+WorkerModel::nextBurst(CpuCore &core)
+{
+    if (!current_.has_value()) {
+        if (queue_.empty(core_)) {
+            BurstRequest br;
+            br.kind = BurstRequest::Kind::Block;
+            return br;
+        }
+        // QoS backpressure (paper Fig. 11 / the token-bucket
+        // extension): consult the governor before servicing; it
+        // returns a delay while SSR CPU time is over budget.
+        if (governor_ != nullptr) {
+            const Tick delay = governor_->nextThrottleDelay(backoff_);
+            if (delay > 0) {
+                BurstRequest br;
+                br.kind = BurstRequest::Kind::Sleep;
+                br.duration = delay;
+                return br;
+            }
+        }
+        current_ = queue_.pop(core_);
+        remaining_ = current_->duration;
+        const Tick at = core.now();
+        queue_.sampleLatency(at > current_->enqueued_at
+                                 ? at - current_->enqueued_at
+                                 : 0);
+        if (current_->on_service_start)
+            current_->on_service_start(at);
+    }
+    BurstRequest br;
+    br.kind = BurstRequest::Kind::Run;
+    br.duration = remaining_;
+    br.kernel_mode = true;
+    br.ssr_work = current_->ssr;
+    br.mem_accesses = current_->footprint_accesses;
+    br.branches = current_->footprint_branches;
+    return br;
+}
+
+void
+WorkerModel::onBurstDone(CpuCore &core, Tick ran,
+                         std::uint64_t instructions_done, bool completed)
+{
+    (void)instructions_done;
+    if (!current_.has_value())
+        panic("WorkerModel: burst completion without an item");
+    if (completed) {
+        WorkItem item = std::move(*current_);
+        current_.reset();
+        remaining_ = 0;
+        queue_.noteCompleted();
+        if (item.on_complete)
+            item.on_complete(core);
+    } else {
+        remaining_ = ran >= remaining_ ? 1 : remaining_ - ran;
+    }
+}
+
+} // namespace hiss

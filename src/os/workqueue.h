@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Kernel work queues and kworker execution models.
+ *
+ * Models Linux's *per-CPU bound* work queues (what the
+ * amd_iommu_v2 driver allocates): a work item executes on the
+ * kworker of the core that submitted it. This is why steering all
+ * SSR interrupts to one core concentrates the whole handling chain
+ * there (paper Section V-A), and why the default spread policy
+ * scatters service work across every core. Workers run at
+ * user-equivalent priority, so CPU-resident applications can delay
+ * them — the mechanism behind the paper's GPU slowdowns — and the
+ * QoS governor can inject exponential-backoff delays before each
+ * item (Fig. 11).
+ */
+
+#ifndef HISS_OS_WORKQUEUE_H_
+#define HISS_OS_WORKQUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "os/scheduler.h"
+#include "os/thread.h"
+#include "sim/sim_object.h"
+
+namespace hiss {
+
+class QosGovernor;
+
+/** One deferred unit of kernel work. */
+struct WorkItem
+{
+    /** CPU time needed to service the item. */
+    Tick duration = 0;
+    /** Invoked on the servicing core when the item completes. */
+    std::function<void(CpuCore &)> on_complete;
+    /** Invoked when a kworker picks the item up (stage latency). */
+    std::function<void(Tick)> on_service_start;
+    /**
+     * Kernel footprint driven through the servicing core's L1D/BP:
+     * distinct lines touched and dynamic branches executed.
+     */
+    std::uint32_t footprint_accesses = 96;
+    std::uint32_t footprint_branches = 700;
+    /** True if this item is SSR work (QoS accounting + throttling). */
+    bool ssr = true;
+    /** Set by the queue on push; used for latency stats. */
+    Tick enqueued_at = 0;
+};
+
+/** A per-CPU bound work queue drained by per-core kworkers. */
+class WorkQueue : public SimObject
+{
+  public:
+    WorkQueue(SimContext &ctx, const std::string &name,
+              Scheduler &scheduler, int num_cores);
+
+    /** Attach the kworker thread bound to @p core. */
+    void addWorker(Thread *worker, int core);
+
+    /**
+     * Enqueue an item on the submitting core's sub-queue and wake
+     * its kworker.
+     * @param from submitting core (nullptr routes to core 0).
+     */
+    void push(WorkItem item, CpuCore *from);
+
+    bool empty(int core) const
+    {
+        return queues_[static_cast<std::size_t>(core)].empty();
+    }
+    std::size_t depth(int core) const
+    {
+        return queues_[static_cast<std::size_t>(core)].size();
+    }
+    std::size_t totalDepth() const;
+
+    /** Pop the oldest item on @p core's sub-queue; panics if empty. */
+    WorkItem pop(int core);
+
+    std::uint64_t pushed() const { return pushed_; }
+    std::uint64_t completed() const { return completed_; }
+    void noteCompleted() { ++completed_; }
+
+    /** Record queue latency (push -> service start). */
+    void sampleLatency(Tick latency)
+    {
+        latency_.sample(static_cast<double>(latency));
+    }
+
+  private:
+    Scheduler &scheduler_;
+    std::vector<std::deque<WorkItem>> queues_;
+    std::vector<Thread *> workers_;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t completed_ = 0;
+    Distribution &latency_;
+};
+
+/**
+ * Execution model of a per-core kworker: pops items off its core's
+ * sub-queue, applies QoS backpressure delays when the governor says
+ * SSR time is over budget, and services each item as a kernel-mode
+ * burst.
+ */
+class WorkerModel : public ExecutionModel
+{
+  public:
+    /**
+     * @param queue    the queue this worker serves.
+     * @param core     the core this worker is bound to.
+     * @param governor optional QoS governor consulted before each
+     *                 SSR item (nullptr = no throttling).
+     */
+    WorkerModel(WorkQueue &queue, int core,
+                QosGovernor *governor = nullptr);
+
+    BurstRequest nextBurst(CpuCore &core) override;
+    void onBurstDone(CpuCore &core, Tick ran,
+                     std::uint64_t instructions_done,
+                     bool completed) override;
+
+    /** Current exponential-backoff delay (0 = not backing off). */
+    Tick backoffDelay() const { return backoff_; }
+
+  private:
+    WorkQueue &queue_;
+    int core_;
+    QosGovernor *governor_;
+    std::optional<WorkItem> current_;
+    Tick remaining_ = 0;
+    Tick backoff_ = 0;
+};
+
+} // namespace hiss
+
+#endif // HISS_OS_WORKQUEUE_H_

@@ -1,0 +1,108 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+EventId
+EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling event in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, static_cast<int>(prio), next_seq_++, id,
+                     std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback fn, EventPriority prio)
+{
+    return schedule(now_ + delay, std::move(fn), prio);
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEventId || live_.count(id) == 0)
+        return false;
+    live_.erase(id);
+    cancelled_.insert(id);
+    return true;
+}
+
+bool
+EventQueue::pending(EventId id) const
+{
+    return id != kInvalidEventId && live_.count(id) > 0;
+}
+
+std::size_t
+EventQueue::numPending() const
+{
+    return live_.size();
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        if (cancelled_.count(top.id) > 0) {
+            cancelled_.erase(top.id);
+            continue;
+        }
+        live_.erase(top.id);
+        now_ = top.when;
+        ++executed_;
+        top.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (cancelled_.count(top.id) > 0) {
+            cancelled_.erase(top.id);
+            heap_.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        step();
+    }
+    if (now_ < until && !heap_.empty())
+        now_ = until;
+    else if (now_ < until && heap_.empty())
+        now_ = until;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    cancelled_.clear();
+    live_.clear();
+    now_ = 0;
+    next_seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace hiss

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A single EventQueue drives the whole simulated SoC. Events are
+ * callbacks scheduled at an absolute tick with a priority; events at
+ * the same (tick, priority) execute in scheduling (FIFO) order, which
+ * keeps runs deterministic. Scheduling returns an EventId that can be
+ * used to cancel the event before it fires.
+ */
+
+#ifndef HISS_SIM_EVENT_QUEUE_H_
+#define HISS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/ticks.h"
+
+namespace hiss {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Well-known event priorities. Lower numeric value runs first at a
+ * given tick. Device/interrupt activity precedes scheduler decisions,
+ * which precede plain work completion, mirroring how hardware
+ * interrupt delivery preempts software within a cycle.
+ */
+enum class EventPriority : int {
+    Interrupt = 0,  ///< Interrupt/IPI delivery.
+    Device = 10,    ///< Device state machines (IOMMU, GPU).
+    Scheduler = 20, ///< OS scheduling decisions.
+    Default = 30,   ///< Ordinary work completion.
+    Stats = 40,     ///< Sampling/accounting; observes settled state.
+};
+
+/** The central discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when (must be >= now).
+     * @return an EventId usable with cancel().
+     */
+    EventId schedule(Tick when, Callback fn,
+                     EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback fn,
+                          EventPriority prio = EventPriority::Default);
+
+    /**
+     * Cancel a pending event. @return true if the event was pending
+     * and is now cancelled; false if it already ran, was already
+     * cancelled, or the id is invalid.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if the event is still pending. */
+    bool pending(EventId id) const;
+
+    /** Number of events awaiting execution. */
+    std::size_t numPending() const;
+
+    /** Total events executed so far. */
+    std::uint64_t numExecuted() const { return executed_; }
+
+    /** @return true when no events remain. */
+    bool empty() const { return numPending() == 0; }
+
+    /**
+     * Execute the next event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until simulated time reaches @p until (events exactly at
+     * @p until are executed) or the queue drains. Time is left at
+     * @p until if the queue still has later events, else at the last
+     * executed event.
+     */
+    void runUntil(Tick until);
+
+    /** Run until the queue is empty. */
+    void run();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq; // FIFO tie-break.
+        EventId id;
+        Callback fn;
+    };
+
+    struct EntryCompare
+    {
+        // std::priority_queue is a max-heap; invert for earliest-first.
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_;
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_EVENT_QUEUE_H_

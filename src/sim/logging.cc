@@ -1,0 +1,123 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace hiss {
+namespace {
+
+logging::Level g_level = logging::Level::Warn;
+std::set<std::string> g_trace_categories;
+bool g_trace_all = false;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n <= 0)
+        return {};
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace
+
+namespace logging {
+
+void setLevel(Level level) { g_level = level; }
+
+Level level() { return g_level; }
+
+void
+enableTrace(const std::string &category)
+{
+    if (category.empty())
+        g_trace_all = true;
+    else
+        g_trace_categories.insert(category);
+}
+
+void
+clearTrace()
+{
+    g_trace_all = false;
+    g_trace_categories.clear();
+}
+
+bool
+traceEnabled(const std::string &category)
+{
+    if (g_level != Level::Trace)
+        return false;
+    return g_trace_all || g_trace_categories.count(category) > 0;
+}
+
+} // namespace logging
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < logging::Level::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < logging::Level::Inform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+tracef(const std::string &category, std::uint64_t when_ns,
+       const char *fmt, ...)
+{
+    if (!logging::traceEnabled(category))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%12llu: [%s] %s\n",
+                 static_cast<unsigned long long>(when_ns),
+                 category.c_str(), msg.c_str());
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg);
+}
+
+} // namespace hiss

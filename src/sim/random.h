@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every simulator component draws from its own named Rng stream,
+ * derived from a global experiment seed plus the component name, so a
+ * run is reproducible and components' draws are independent of each
+ * other's call order. The generator is xoshiro256**, seeded via
+ * splitmix64.
+ */
+
+#ifndef HISS_SIM_RANDOM_H_
+#define HISS_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hiss {
+
+/** A self-contained deterministic random stream. */
+class Rng
+{
+  public:
+    /** Seed directly from a 64-bit value. */
+    explicit Rng(std::uint64_t seed);
+
+    /**
+     * Derive an independent stream from an experiment seed and a
+     * component name (e.g. "core0.workload").
+     */
+    Rng(std::uint64_t experiment_seed, const std::string &stream_name);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double uniformReal();
+
+    /** Uniform real in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool withProbability(double p);
+
+    /** Exponential variate with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Normal variate (Box-Muller). */
+    double normal(double mean, double stddev);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_RANDOM_H_

@@ -1,0 +1,131 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <iomanip>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace hiss {
+
+void
+Distribution::sample(double v)
+{
+    if (n_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++n_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Distribution::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+void
+Distribution::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+}
+
+template <typename T, typename... Args>
+T &
+StatRegistry::addStat(const std::string &name, Args &&...args)
+{
+    if (stats_.count(name) > 0)
+        fatal("duplicate stat name: %s", name.c_str());
+    auto stat = std::make_unique<T>(name, std::forward<Args>(args)...);
+    T &ref = *stat;
+    stats_.emplace(name, std::move(stat));
+    return ref;
+}
+
+Counter &
+StatRegistry::addCounter(const std::string &name, const std::string &desc)
+{
+    return addStat<Counter>(name, desc);
+}
+
+Scalar &
+StatRegistry::addScalar(const std::string &name, const std::string &desc)
+{
+    return addStat<Scalar>(name, desc);
+}
+
+Distribution &
+StatRegistry::addDistribution(const std::string &name,
+                              const std::string &desc)
+{
+    return addStat<Distribution>(name, desc);
+}
+
+Formula &
+StatRegistry::addFormula(const std::string &name, const std::string &desc,
+                         std::function<double()> fn)
+{
+    return addStat<Formula>(name, desc, std::move(fn));
+}
+
+const Stat *
+StatRegistry::find(const std::string &name) const
+{
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+double
+StatRegistry::valueOf(const std::string &name) const
+{
+    const Stat *stat = find(name);
+    if (stat == nullptr)
+        fatal("unknown stat: %s", name.c_str());
+    return stat->value();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : stats_) {
+        os << std::left << std::setw(48) << name << ' '
+           << std::right << std::setw(16) << std::setprecision(6)
+           << std::fixed << stat->value();
+        if (!stat->description().empty())
+            os << "  # " << stat->description();
+        os << '\n';
+    }
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "name,value,description\n";
+    for (const auto &[name, stat] : stats_) {
+        os << name << ',' << std::setprecision(9) << stat->value() << ','
+           << stat->description() << '\n';
+    }
+}
+
+} // namespace hiss

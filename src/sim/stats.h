@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Statistics framework.
+ *
+ * Components register named statistics with a StatRegistry. Names are
+ * hierarchical ("core0.l1d.misses"). Supported kinds: Counter
+ * (monotonic), Scalar (settable), Distribution (online mean/stddev +
+ * min/max), and Formula (computed at dump time from other stats).
+ * The registry can render a text report or CSV.
+ */
+
+#ifndef HISS_SIM_STATS_H_
+#define HISS_SIM_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace hiss {
+
+/** Base class for all statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    /** Current value rendered as a double (Formula evaluates). */
+    virtual double value() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonically increasing event counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void inc(std::uint64_t by = 1) { count_ += by; }
+    std::uint64_t count() const { return count_; }
+
+    double value() const override
+    {
+        return static_cast<double>(count_);
+    }
+    void reset() override { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** A settable scalar value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void set(double v) { value_ = v; }
+    void add(double v) { value_ += v; }
+
+    double value() const override { return value_; }
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Online distribution: count, mean, stddev, min, max (Welford). */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double total() const { return sum_; }
+
+    /** value() reports the mean. */
+    double value() const override { return mean(); }
+    void reset() override;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** A value computed on demand from other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), fn_(std::move(fn)) {}
+
+    double value() const override { return fn_ ? fn_() : 0.0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Owns all statistics for one simulated system. Registration returns
+ * a reference valid for the registry's lifetime.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    Counter &addCounter(const std::string &name,
+                        const std::string &desc);
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc);
+    Formula &addFormula(const std::string &name, const std::string &desc,
+                        std::function<double()> fn);
+
+    /** Look up a stat by full name; nullptr if absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** Value of a stat by name; throws FatalError if absent. */
+    double valueOf(const std::string &name) const;
+
+    /** Number of registered stats. */
+    std::size_t size() const { return stats_.size(); }
+
+    /** Reset every stat. */
+    void resetAll();
+
+    /** Human-readable dump, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** CSV dump: name,value,description. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    template <typename T, typename... Args>
+    T &addStat(const std::string &name, Args &&...args);
+
+    std::map<std::string, std::unique_ptr<Stat>> stats_;
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_STATS_H_

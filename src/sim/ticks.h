@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * One tick equals one nanosecond of simulated time. All simulator
+ * components share this time base; cycle-accurate quantities are
+ * derived from per-component clock frequencies expressed in GHz.
+ */
+
+#ifndef HISS_SIM_TICKS_H_
+#define HISS_SIM_TICKS_H_
+
+#include <cstdint>
+
+namespace hiss {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for interval arithmetic. */
+using TickDelta = std::int64_t;
+
+/** The maximum representable tick; used as "never". */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** Ticks per microsecond. */
+inline constexpr Tick kTicksPerUs = 1000;
+
+/** Ticks per millisecond. */
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+
+/** Ticks per second. */
+inline constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert a microsecond count to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs));
+}
+
+/** Convert a millisecond count to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs));
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/**
+ * A component clock: converts between cycles and ticks.
+ *
+ * Frequencies are stored in GHz (cycles per nanosecond), so a 3.7 GHz
+ * CPU core advances 3.7 cycles per tick.
+ */
+class Clock
+{
+  public:
+    /** @param ghz Clock frequency in GHz; must be positive. */
+    explicit constexpr Clock(double ghz) : freqGhz_(ghz) {}
+
+    /** Frequency in GHz. */
+    constexpr double freqGhz() const { return freqGhz_; }
+
+    /** Cycles elapsed over a tick interval (fractional). */
+    constexpr double
+    ticksToCycles(Tick t) const
+    {
+        return static_cast<double>(t) * freqGhz_;
+    }
+
+    /** Ticks needed to retire @p cycles cycles (rounded up, min 1). */
+    constexpr Tick
+    cyclesToTicks(double cycles) const
+    {
+        if (cycles <= 0.0)
+            return 0;
+        const double t = cycles / freqGhz_;
+        const auto whole = static_cast<Tick>(t);
+        const Tick rounded = (static_cast<double>(whole) < t)
+            ? whole + 1 : whole;
+        return rounded == 0 ? 1 : rounded;
+    }
+
+    /** Duration of one cycle in (fractional) nanoseconds. */
+    constexpr double cycleNs() const { return 1.0 / freqGhz_; }
+
+  private:
+    double freqGhz_;
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_TICKS_H_

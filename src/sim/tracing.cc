@@ -1,0 +1,59 @@
+#include "sim/tracing.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+/** Escape a string for inclusion in a JSON literal. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) >= 0x20)
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : out_(path)
+{
+    if (!out_.is_open())
+        fatal("TraceWriter: cannot open %s", path.c_str());
+    out_ << "[\n";
+}
+
+TraceWriter::~TraceWriter()
+{
+    out_ << "\n]\n";
+}
+
+void
+TraceWriter::complete(int track, const std::string &name,
+                      const std::string &category, Tick start,
+                      Tick duration)
+{
+    if (!first_)
+        out_ << ",\n";
+    first_ = false;
+    // Chrome expects microseconds; ticks are nanoseconds.
+    out_ << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+         << jsonEscape(category) << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(start) / 1000.0 << ",\"dur\":"
+         << static_cast<double>(duration) / 1000.0
+         << ",\"pid\":0,\"tid\":" << track << "}";
+    ++events_;
+}
+
+} // namespace hiss

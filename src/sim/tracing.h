@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Chrome trace-event timeline writer.
+ *
+ * When a TraceWriter is attached to the SimContext, CPU cores emit
+ * duration events for thread bursts, interrupt handlers, and sleep
+ * intervals. The output is Chrome's trace-event JSON array format:
+ * load it in chrome://tracing or Perfetto to see the SSR pipeline —
+ * top halves landing on cores, bottom-half hops, kworker service,
+ * preempted user bursts — exactly like the paper's Fig. 2 timeline.
+ */
+
+#ifndef HISS_SIM_TRACING_H_
+#define HISS_SIM_TRACING_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "sim/ticks.h"
+
+namespace hiss {
+
+/** Writes Chrome trace-event JSON ("X" complete events). */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing.
+     * @throws FatalError if the file cannot be opened.
+     */
+    explicit TraceWriter(const std::string &path);
+
+    /** Finalizes the JSON array. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /**
+     * Record one complete event.
+     * @param track    track id (CPU core index; GPU uses 100+).
+     * @param name     event label ("x264.t2", "irq:iommu_drv",
+     *                 "cc6", ...).
+     * @param category coarse grouping ("burst", "irq", "sleep").
+     * @param start    event start tick.
+     * @param duration event length in ticks (0 renders as instant).
+     */
+    void complete(int track, const std::string &name,
+                  const std::string &category, Tick start,
+                  Tick duration);
+
+    /** Number of events written so far. */
+    std::uint64_t eventsWritten() const { return events_; }
+
+    /** Flush buffered output to disk. */
+    void flush() { out_.flush(); }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t events_ = 0;
+    bool first_ = true;
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_TRACING_H_

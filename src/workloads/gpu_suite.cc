@@ -1,0 +1,115 @@
+#include "workloads/gpu_suite.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+namespace gpu_suite {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bfs", "bpt", "spmv", "sssp", "xsbench", "ubench",
+    };
+    return names;
+}
+
+GpuWorkloadParams
+params(const std::string &name)
+{
+    GpuWorkloadParams p;
+    // Profiles calibrated to the paper's characterizations:
+    //  - bfs: low SSR rate, faults clustered near the start
+    //    (preload pass), then compute on resident data;
+    //  - bpt, sssp: faults on the kernel's critical path (few
+    //    wavefronts, little work per page) -> latency-sensitive,
+    //    most affected by CPU-side delays and coalescing;
+    //  - spmv, xsbench: moderate rates, more latency tolerance;
+    //  - ubench: unbounded streaming, every access faults, enough
+    //    parallelism to overlap faults -> throughput-bound on the
+    //    SSR service rate.
+    p.name = name;
+    if (name == "bfs") {
+        p.wavefronts = 8;
+        p.pages = 900;
+        p.preload_fraction = 0.92;
+        p.preload_chunks_per_page = 2;
+        p.main_visits = 30000;
+        p.chunks_per_visit = 12;
+        p.reuse_fraction = 0.97;
+        p.chunk_duration = 650;
+        p.fault_replay = usToTicks(20);
+        return p;
+    }
+    if (name == "bpt") {
+        p.wavefronts = 4;
+        p.pages = 1600;
+        p.preload_fraction = 0.0;
+        p.main_visits = 22000;
+        p.chunks_per_visit = 5;
+        p.reuse_fraction = 0.84;
+        p.chunk_duration = 800;
+        p.fault_replay = usToTicks(20);
+        return p;
+    }
+    if (name == "spmv") {
+        p.wavefronts = 8;
+        p.pages = 1150;
+        p.preload_fraction = 0.35;
+        p.preload_chunks_per_page = 1;
+        p.main_visits = 24000;
+        p.chunks_per_visit = 7;
+        p.reuse_fraction = 0.85;
+        p.chunk_duration = 750;
+        p.fault_replay = usToTicks(20);
+        return p;
+    }
+    if (name == "sssp") {
+        p.wavefronts = 4;
+        p.pages = 1250;
+        p.preload_fraction = 0.0;
+        p.main_visits = 30000;
+        p.chunks_per_visit = 3;
+        p.reuse_fraction = 0.82;
+        p.chunk_duration = 600;
+        p.fault_replay = usToTicks(18);
+        return p;
+    }
+    if (name == "xsbench") {
+        p.wavefronts = 8;
+        p.pages = 1050;
+        p.preload_fraction = 0.0;
+        p.main_visits = 24000;
+        p.chunks_per_visit = 8;
+        p.reuse_fraction = 0.86;
+        p.chunk_duration = 700;
+        p.fault_replay = usToTicks(20);
+        return p;
+    }
+    if (name == "ubench") {
+        p.wavefronts = 24;
+        p.unbounded_pages = true;
+        p.pages = 0;
+        p.preload_fraction = 0.0;
+        p.main_visits = 2'000'000; // Effectively endless; loop mode.
+        p.chunks_per_visit = 1;
+        p.reuse_fraction = 0.0;
+        p.chunk_duration = 300;
+        p.fault_replay = usToTicks(50);
+        return p;
+    }
+    fatal("unknown GPU workload: %s", name.c_str());
+}
+
+std::vector<GpuWorkloadParams>
+allWorkloads()
+{
+    std::vector<GpuWorkloadParams> out;
+    out.reserve(workloadNames().size());
+    for (const std::string &name : workloadNames())
+        out.push_back(params(name));
+    return out;
+}
+
+} // namespace gpu_suite
+} // namespace hiss

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * GPU workload definitions (paper Section III).
+ *
+ * The paper's SSR-generating GPU applications: BPT and XSBench (from
+ * Vesely et al.'s demand-paging study), BFS and SpMV (SHOC), SSSP
+ * (Pannotia) — all modified to allocate inputs on demand so GPU
+ * accesses take soft page faults — plus `ubench`, a microbenchmark
+ * that streams through memory faulting on every access to model
+ * future accelerator-rich SoCs.
+ */
+
+#ifndef HISS_WORKLOADS_GPU_SUITE_H_
+#define HISS_WORKLOADS_GPU_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.h"
+
+namespace hiss {
+namespace gpu_suite {
+
+/** The six GPU workload names, in the paper's figure order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Parameters for a named GPU workload.
+ * @throws FatalError for unknown names.
+ */
+GpuWorkloadParams params(const std::string &name);
+
+/** Parameters for every workload, in workloadNames() order. */
+std::vector<GpuWorkloadParams> allWorkloads();
+
+} // namespace gpu_suite
+} // namespace hiss
+
+#endif // HISS_WORKLOADS_GPU_SUITE_H_

@@ -1,0 +1,134 @@
+#include "workloads/parsec.h"
+
+#include "sim/logging.h"
+
+namespace hiss {
+namespace parsec {
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/**
+ * Builds one benchmark profile.
+ *
+ * @param threads   worker threads (paper runs 4).
+ * @param iters     fork-join iterations (more = finer barriers).
+ * @param par_mi    parallel instructions per thread per iteration,
+ *                  in millions.
+ * @param ser_mi    serial instructions (thread 0) per iteration,
+ *                  in millions.
+ * @param cpi       base CPI with warm caches.
+ * @param ws        working set per thread, bytes.
+ * @param hot       hot subset per thread, bytes.
+ * @param hot_frac  fraction of accesses hitting the hot subset.
+ * @param stride    sequentiality of cold accesses.
+ * @param branches  static branch sites.
+ * @param bias_lo   minimum per-branch predictability.
+ */
+CpuAppParams
+make(const std::string &name, int threads, std::uint64_t iters,
+     double par_mi, double ser_mi, double cpi, std::uint64_t ws,
+     std::uint64_t hot, double hot_frac, double stride,
+     std::uint32_t branches, double bias_lo)
+{
+    CpuAppParams p;
+    p.name = name;
+    p.threads = threads;
+    p.iterations = iters;
+    p.parallel_insts = static_cast<std::uint64_t>(par_mi * 1e6);
+    p.serial_insts = static_cast<std::uint64_t>(ser_mi * 1e6);
+    p.base_cpi = cpi;
+    p.mem.working_set_bytes = ws;
+    p.mem.hot_set_bytes = hot;
+    p.mem.hot_fraction = hot_frac;
+    p.mem.stride_fraction = stride;
+    p.branch.static_branches = branches;
+    p.branch.bias_min = bias_lo;
+    p.branch.bias_max = 0.99;
+    p.branch.pattern_noise = 0.04;
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+        "ferret", "fluidanimate", "freqmine", "raytrace",
+        "streamcluster", "swaptions", "vips", "x264",
+    };
+    return names;
+}
+
+CpuAppParams
+params(const std::string &name)
+{
+    // Locality/parallelism profiles chosen to reproduce each
+    // benchmark's qualitative behaviour in the paper:
+    //  - fluidanimate: small reusable hot set + fine-grained barriers
+    //    -> most sensitive to handler cache pollution (Fig. 3a);
+    //  - raytrace: serial-dominated -> idle cores absorb SSRs;
+    //  - streamcluster: fully parallel, never idle -> delays SSR
+    //    service the most (Fig. 3b);
+    //  - canneal: huge random working set, already miss-bound ->
+    //    small *relative* pollution effect (Fig. 5a);
+    //  - swaptions: tiny compute-bound kernel -> least affected;
+    //  - x264: high-IPC, branchy, medium hot set -> largest ubench
+    //    slowdown (Fig. 3a).
+    if (name == "blackscholes")
+        return make(name, 4, 12, 2.5, 0.14, 0.85, 512 * kKiB, 12 * kKiB,
+                    0.85, 0.7, 48, 0.90);
+    if (name == "bodytrack")
+        return make(name, 4, 30, 1.0, 0.23, 1.0, 2 * kMiB, 10 * kKiB,
+                    0.75, 0.5, 192, 0.75);
+    if (name == "canneal")
+        return make(name, 4, 10, 2.0, 0.18, 1.6, 24 * kMiB, 6 * kKiB,
+                    0.35, 0.2, 160, 0.70);
+    if (name == "dedup")
+        return make(name, 4, 16, 1.6, 0.36, 1.1, 6 * kMiB, 10 * kKiB,
+                    0.6, 0.6, 128, 0.78);
+    if (name == "facesim")
+        return make(name, 4, 40, 0.72, 0.18, 1.15, 8 * kMiB, 12 * kKiB,
+                    0.7, 0.55, 160, 0.80);
+    if (name == "ferret")
+        return make(name, 4, 20, 1.26, 0.27, 1.05, 4 * kMiB, 10 * kKiB,
+                    0.65, 0.5, 192, 0.76);
+    if (name == "fluidanimate")
+        return make(name, 4, 24, 1.25, 0.18, 0.95, 1536 * kKiB,
+                    15 * kKiB, 0.90, 0.45, 96, 0.82);
+    if (name == "freqmine")
+        return make(name, 4, 14, 1.8, 0.32, 1.2, 12 * kMiB, 9 * kKiB,
+                    0.55, 0.4, 224, 0.72);
+    if (name == "raytrace")
+        return make(name, 4, 10, 0.54, 2.0, 1.0, 3 * kMiB, 11 * kKiB,
+                    0.7, 0.45, 160, 0.80);
+    if (name == "streamcluster")
+        return make(name, 4, 24, 1.17, 0.02, 1.25, 16 * kMiB, 8 * kKiB,
+                    0.5, 0.75, 64, 0.88);
+    if (name == "swaptions")
+        return make(name, 4, 8, 3.6, 0.05, 0.8, 256 * kKiB, 8 * kKiB,
+                    0.9, 0.6, 48, 0.92);
+    if (name == "vips")
+        return make(name, 4, 18, 1.35, 0.23, 1.0, 5 * kMiB, 10 * kKiB,
+                    0.65, 0.7, 144, 0.78);
+    if (name == "x264")
+        return make(name, 4, 26, 1.08, 0.18, 0.75, 2 * kMiB, 15 * kKiB,
+                    0.86, 0.55, 256, 0.68);
+    fatal("unknown PARSEC benchmark: %s", name.c_str());
+}
+
+std::vector<CpuAppParams>
+allBenchmarks()
+{
+    std::vector<CpuAppParams> out;
+    out.reserve(benchmarkNames().size());
+    for (const std::string &name : benchmarkNames())
+        out.push_back(params(name));
+    return out;
+}
+
+} // namespace parsec
+} // namespace hiss

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * PARSEC-like CPU workload definitions.
+ *
+ * The paper runs PARSEC v2.1 with native inputs and 4 threads
+ * (Section III). We model each benchmark's *sensitivity profile* —
+ * thread-level parallelism, barrier granularity, working-set
+ * locality, and branchiness — with parameters calibrated so the
+ * interference behaviours the paper reports (e.g. fluidanimate's
+ * cache sensitivity, raytrace's serial-dominated tolerance,
+ * streamcluster's always-busy cores) are reproduced. Instruction
+ * budgets are scaled so baseline runtimes are tens of simulated
+ * milliseconds (the simulator's time budget), not the minutes of
+ * the native inputs.
+ */
+
+#ifndef HISS_WORKLOADS_PARSEC_H_
+#define HISS_WORKLOADS_PARSEC_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads/cpu_app.h"
+
+namespace hiss {
+namespace parsec {
+
+/** All 13 PARSEC benchmark names, in the paper's Fig. 12 order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Parameters for a named PARSEC benchmark.
+ * @throws FatalError for unknown names.
+ */
+CpuAppParams params(const std::string &name);
+
+/** Parameters for every benchmark, in benchmarkNames() order. */
+std::vector<CpuAppParams> allBenchmarks();
+
+} // namespace parsec
+} // namespace hiss
+
+#endif // HISS_WORKLOADS_PARSEC_H_

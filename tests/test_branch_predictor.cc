@@ -1,0 +1,156 @@
+/** @file Unit and property tests for the gshare branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "mem/branch_predictor.h"
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace hiss {
+namespace {
+
+TEST(BranchPredictor, ParamValidation)
+{
+    EXPECT_THROW(BranchPredictor(BranchPredictorParams{0, 12}),
+                 FatalError);
+    EXPECT_THROW(BranchPredictor(BranchPredictorParams{25, 12}),
+                 FatalError);
+    EXPECT_THROW(BranchPredictor(BranchPredictorParams{12, 40}),
+                 FatalError);
+}
+
+TEST(BranchPredictor, LearnsAlwaysTakenBranch)
+{
+    BranchPredictor bp(BranchPredictorParams{10, 0});
+    // With zero history bits a single PC maps to one counter.
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0x400, true);
+    bp.resetCounters();
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x400, true);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTakenBranch)
+{
+    BranchPredictor bp(BranchPredictorParams{10, 0});
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0x400, false);
+    bp.resetCounters();
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x400, false);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+TEST(BranchPredictor, SaturatingCounterHysteresis)
+{
+    BranchPredictor bp(BranchPredictorParams{10, 0});
+    // Saturate taken.
+    for (int i = 0; i < 4; ++i)
+        bp.predictAndUpdate(0x100, true);
+    // One not-taken outcome must not flip the prediction (3 -> 2).
+    bp.predictAndUpdate(0x100, false);
+    EXPECT_TRUE(bp.predict(0x100));
+    // A second one flips it (2 -> 1).
+    bp.predictAndUpdate(0x100, false);
+    EXPECT_FALSE(bp.predict(0x100));
+}
+
+TEST(BranchPredictor, RandomOutcomesMispredictAboutHalf)
+{
+    BranchPredictor bp(BranchPredictorParams{12, 12});
+    Rng rng(99);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        bp.predictAndUpdate(rng.uniformInt(0, 63) * 4,
+                            rng.withProbability(0.5));
+    EXPECT_NEAR(bp.mispredictRate(), 0.5, 0.05);
+}
+
+TEST(BranchPredictor, BiasedOutcomesMispredictNearBias)
+{
+    BranchPredictor bp(BranchPredictorParams{12, 0});
+    Rng rng(101);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        bp.predictAndUpdate(0x800, rng.withProbability(0.9));
+    // A 90 % biased branch mispredicts roughly 10 % of the time.
+    EXPECT_LT(bp.mispredictRate(), 0.15);
+    EXPECT_GT(bp.mispredictRate(), 0.05);
+}
+
+TEST(BranchPredictor, HistoryDisambiguatesPatterns)
+{
+    // Alternating T/N/T/N: with history the pattern is learnable.
+    BranchPredictor with_history(BranchPredictorParams{12, 8});
+    bool taken = false;
+    for (int i = 0; i < 2000; ++i) {
+        with_history.predictAndUpdate(0x400, taken);
+        taken = !taken;
+    }
+    with_history.resetCounters();
+    for (int i = 0; i < 2000; ++i) {
+        with_history.predictAndUpdate(0x400, taken);
+        taken = !taken;
+    }
+    EXPECT_LT(with_history.mispredictRate(), 0.05);
+}
+
+TEST(BranchPredictor, ResetRestoresInitialState)
+{
+    BranchPredictor bp(BranchPredictorParams{10, 4});
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x10, false);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+    // Weakly-taken initial state predicts taken.
+    EXPECT_TRUE(bp.predict(0x10));
+}
+
+TEST(BranchPredictor, CountersAreConsistent)
+{
+    BranchPredictor bp(BranchPredictorParams{12, 12});
+    Rng rng(103);
+    std::uint64_t correct = 0;
+    for (int i = 0; i < 5000; ++i)
+        if (bp.predictAndUpdate(rng.uniformInt(0, 31) * 4,
+                                rng.withProbability(0.7)))
+            ++correct;
+    EXPECT_EQ(bp.lookups(), 5000u);
+    EXPECT_EQ(bp.mispredicts() + correct, 5000u);
+}
+
+/** Pollution property: kernel-style interleaving raises mispredicts. */
+TEST(BranchPredictor, InterleavedAliasingRaisesMispredictions)
+{
+    BranchPredictorParams params{10, 10};
+    BranchPredictor clean(params);
+    BranchPredictor polluted(params);
+    Rng rng(107);
+
+    auto user_pass = [&](BranchPredictor &bp) {
+        std::uint64_t start_miss = bp.mispredicts();
+        std::uint64_t start_lk = bp.lookups();
+        Rng user_rng(55);
+        for (int i = 0; i < 4000; ++i)
+            bp.predictAndUpdate(0x1000 + user_rng.uniformInt(0, 15) * 4,
+                                user_rng.withProbability(0.95));
+        return static_cast<double>(bp.mispredicts() - start_miss)
+            / static_cast<double>(bp.lookups() - start_lk);
+    };
+
+    // Warm both with one user pass.
+    user_pass(clean);
+    user_pass(polluted);
+    // Pollute one with random kernel branches.
+    for (int i = 0; i < 4000; ++i)
+        polluted.predictAndUpdate(0x9000 + rng.uniformInt(0, 511) * 4,
+                                  rng.withProbability(0.5));
+    const double clean_rate = user_pass(clean);
+    const double polluted_rate = user_pass(polluted);
+    EXPECT_GT(polluted_rate, clean_rate);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,97 @@
+/** @file Tests for SystemConfig and MitigationConfig. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/config.h"
+
+namespace hiss {
+namespace {
+
+TEST(MitigationConfig, LabelsAreDescriptive)
+{
+    MitigationConfig none;
+    EXPECT_EQ(none.label(), "default");
+
+    MitigationConfig all;
+    all.steer_to_single_core = true;
+    all.interrupt_coalescing = true;
+    all.monolithic_bottom_half = true;
+    EXPECT_EQ(all.label(), "steer+coalesce+monolithic");
+
+    MitigationConfig coal;
+    coal.interrupt_coalescing = true;
+    EXPECT_EQ(coal.label(), "coalesce");
+}
+
+TEST(MitigationConfig, AllCombinationsAreEightAndDistinct)
+{
+    const auto combos = MitigationConfig::allCombinations();
+    ASSERT_EQ(combos.size(), 8u);
+    std::set<std::string> labels;
+    for (const auto &combo : combos)
+        labels.insert(combo.label());
+    EXPECT_EQ(labels.size(), 8u);
+    EXPECT_TRUE(labels.count("default"));
+    EXPECT_TRUE(labels.count("steer+coalesce+monolithic"));
+}
+
+TEST(SystemConfig, DefaultsMatchPaperTestbed)
+{
+    const SystemConfig config;
+    // Table II: 4 cores at 3.7 GHz, 720 MHz GPU, 32 GiB DRAM.
+    EXPECT_EQ(config.num_cores, 4);
+    EXPECT_DOUBLE_EQ(config.core.freq_ghz, 3.7);
+    EXPECT_DOUBLE_EQ(config.gpu.freq_ghz, 0.72);
+    EXPECT_EQ(config.kernel.dram_frames * kPageBytes,
+              32ull * 1024 * 1024 * 1024);
+    EXPECT_FALSE(config.iommu.coalescing);
+    EXPECT_EQ(config.iommu.steering, MsiSteering::SpreadRoundRobin);
+    EXPECT_FALSE(config.ssr_driver.monolithic_bottom_half);
+    EXPECT_FALSE(config.kernel.qos.enabled);
+}
+
+TEST(SystemConfig, ApplyMitigationsMapsToDevices)
+{
+    SystemConfig config;
+    MitigationConfig mitigation;
+    mitigation.steer_to_single_core = true;
+    mitigation.steer_core = 1;
+    mitigation.interrupt_coalescing = true;
+    mitigation.coalesce_window = usToTicks(13);
+    mitigation.monolithic_bottom_half = true;
+    config.applyMitigations(mitigation);
+    EXPECT_EQ(config.iommu.steering, MsiSteering::SingleCore);
+    EXPECT_EQ(config.iommu.steer_core, 1);
+    EXPECT_TRUE(config.iommu.coalescing);
+    EXPECT_EQ(config.iommu.coalesce_window, usToTicks(13));
+    EXPECT_TRUE(config.ssr_driver.monolithic_bottom_half);
+
+    // Applying "default" switches everything back off.
+    config.applyMitigations(MitigationConfig{});
+    EXPECT_EQ(config.iommu.steering, MsiSteering::SpreadRoundRobin);
+    EXPECT_FALSE(config.iommu.coalescing);
+    EXPECT_FALSE(config.ssr_driver.monolithic_bottom_half);
+}
+
+TEST(SystemConfig, EnableQosSetsThreshold)
+{
+    SystemConfig config;
+    config.enableQos(0.01);
+    EXPECT_TRUE(config.kernel.qos.enabled);
+    EXPECT_DOUBLE_EQ(config.kernel.qos.threshold, 0.01);
+}
+
+TEST(SystemConfig, DescribeMentionsKeyFacts)
+{
+    SystemConfig config;
+    const std::string desc = config.describe();
+    EXPECT_NE(desc.find("3.7"), std::string::npos);
+    EXPECT_NE(desc.find("720"), std::string::npos);
+    EXPECT_NE(desc.find("32 GiB"), std::string::npos);
+    EXPECT_NE(desc.find("round-robin"), std::string::npos);
+}
+
+} // namespace
+} // namespace hiss

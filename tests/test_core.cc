@@ -1,0 +1,382 @@
+/** @file Unit tests for the CpuCore state machine and accounting. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.h"
+#include "os/thread.h"
+
+namespace hiss {
+namespace {
+
+/** Listener that records callbacks and applies a simple policy. */
+class StubListener : public CoreListener
+{
+  public:
+    void
+    coreIdle(CpuCore &core) override
+    {
+        ++idle_calls;
+        core.goIdle();
+    }
+
+    void
+    coreBoundary(CpuCore &core) override
+    {
+        ++boundary_calls;
+        core.continueThread();
+    }
+
+    void
+    threadYielded(CpuCore &core, Thread &thread,
+                  const BurstRequest &request) override
+    {
+        (void)core;
+        last_yield_kind = request.kind;
+        yielded_thread = &thread;
+        switch (request.kind) {
+          case BurstRequest::Kind::Block:
+            thread.setState(ThreadState::Blocked);
+            break;
+          case BurstRequest::Kind::Sleep:
+            thread.setState(ThreadState::Sleeping);
+            break;
+          case BurstRequest::Kind::Finish:
+            thread.setState(ThreadState::Finished);
+            break;
+          case BurstRequest::Kind::Run:
+            break;
+        }
+    }
+
+    int idle_calls = 0;
+    int boundary_calls = 0;
+    BurstRequest::Kind last_yield_kind = BurstRequest::Kind::Run;
+    Thread *yielded_thread = nullptr;
+};
+
+/** Model that runs N fixed kernel-mode bursts then finishes. */
+class FixedBurstModel : public ExecutionModel
+{
+  public:
+    FixedBurstModel(int bursts, Tick duration, bool kernel, bool ssr)
+        : bursts_left_(bursts), duration_(duration), kernel_(kernel),
+          ssr_(ssr)
+    {
+    }
+
+    BurstRequest
+    nextBurst(CpuCore &) override
+    {
+        BurstRequest br;
+        if (bursts_left_ == 0) {
+            br.kind = BurstRequest::Kind::Finish;
+            return br;
+        }
+        br.kind = BurstRequest::Kind::Run;
+        br.duration = duration_;
+        br.kernel_mode = kernel_;
+        br.ssr_work = ssr_;
+        return br;
+    }
+
+    void
+    onBurstDone(CpuCore &, Tick ran, std::uint64_t, bool completed)
+        override
+    {
+        total_ran += ran;
+        if (completed) {
+            --bursts_left_;
+            ++completions;
+        } else {
+            ++preemptions;
+        }
+    }
+
+    int completions = 0;
+    int preemptions = 0;
+    Tick total_ran = 0;
+
+  private:
+    int bursts_left_;
+    Tick duration_;
+    bool kernel_;
+    bool ssr_;
+};
+
+/** User-mode instruction-budget model with its own streams. */
+class UserWorkModel : public ExecutionModel
+{
+  public:
+    UserWorkModel(std::uint64_t insts, std::uint64_t slice)
+        : remaining_(insts), slice_(slice),
+          astream_(MemoryProfile{64 * 1024, 8 * 1024, 0.9, 0.5}, 0x1000,
+                   11),
+          bstream_(BranchProfile{32, 0.9, 0.99, 0.02}, 0x4000, 12)
+    {
+    }
+
+    BurstRequest
+    nextBurst(CpuCore &) override
+    {
+        BurstRequest br;
+        if (remaining_ == 0) {
+            br.kind = BurstRequest::Kind::Finish;
+            return br;
+        }
+        br.kind = BurstRequest::Kind::Run;
+        br.instructions = std::min(remaining_, slice_);
+        br.base_cpi = 1.0;
+        br.mem_accesses = 32;
+        br.branches = 16;
+        br.astream = &astream_;
+        br.bstream = &bstream_;
+        return br;
+    }
+
+    void
+    onBurstDone(CpuCore &, Tick, std::uint64_t insts, bool) override
+    {
+        remaining_ = insts >= remaining_ ? 0 : remaining_ - insts;
+    }
+
+    std::uint64_t remaining() const { return remaining_; }
+
+  private:
+    std::uint64_t remaining_;
+    std::uint64_t slice_;
+    AddressStream astream_;
+    BranchStream bstream_;
+};
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest() : ctx{events, stats, 1234}
+    {
+        CpuCoreParams params;
+        core = std::make_unique<CpuCore>(ctx, 0, params, listener);
+    }
+
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx;
+    StubListener listener;
+    std::unique_ptr<CpuCore> core;
+};
+
+TEST_F(CoreTest, StartsIdleAndDispatchable)
+{
+    EXPECT_EQ(core->state(), CoreState::Idle);
+    EXPECT_TRUE(core->canDispatch());
+    EXPECT_EQ(core->currentThread(), nullptr);
+}
+
+TEST_F(CoreTest, RunsKernelBurstsToCompletion)
+{
+    FixedBurstModel model(3, 1000, true, false);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    EXPECT_FALSE(core->canDispatch());
+    events.run();
+    EXPECT_EQ(model.completions, 3);
+    EXPECT_EQ(listener.last_yield_kind, BurstRequest::Kind::Finish);
+    // All burst time accounted as kernel.
+    EXPECT_GE(core->kernelTicks(), 3000u);
+    EXPECT_EQ(core->userTicks(), 0u);
+}
+
+TEST_F(CoreTest, SsrWorkIsTrackedSeparately)
+{
+    FixedBurstModel model(2, 500, true, true);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    events.run();
+    EXPECT_GE(core->ssrTicks(), 1000u);
+    EXPECT_LE(core->ssrTicks(), core->kernelTicks());
+}
+
+TEST_F(CoreTest, UserWorkRetiresInstructions)
+{
+    UserWorkModel model(50000, 5000);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    events.run();
+    EXPECT_EQ(model.remaining(), 0u);
+    EXPECT_GT(core->userTicks(), 0u);
+    EXPECT_GT(core->userL1dAccesses(), 0u);
+    EXPECT_GT(core->userBranches(), 0u);
+    // 50k instructions at >= 1.0 CPI on a 3.7 GHz core take at
+    // least 13.5 us.
+    EXPECT_GE(core->userTicks(), usToTicks(13));
+}
+
+TEST_F(CoreTest, InterruptPreemptsBurstAndResumes)
+{
+    FixedBurstModel model(1, usToTicks(100), true, false);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    // Let the burst start, then interrupt mid-way.
+    events.runUntil(usToTicks(30));
+    bool irq_ran = false;
+    Irq irq;
+    irq.label = "test";
+    irq.on_start = [](CpuCore &) { return Tick{500}; };
+    irq.on_complete = [&](CpuCore &) { irq_ran = true; };
+    core->postInterrupt(std::move(irq));
+    EXPECT_EQ(core->state(), CoreState::InIrq);
+    events.run();
+    EXPECT_TRUE(irq_ran);
+    EXPECT_EQ(model.preemptions, 1);
+    EXPECT_EQ(model.completions, 1);
+    EXPECT_EQ(core->irqCount(), 1u);
+    // The thread resumed via a boundary.
+    EXPECT_GE(listener.boundary_calls, 1);
+}
+
+TEST_F(CoreTest, IpiIsCountedSeparately)
+{
+    Irq ipi;
+    ipi.label = "resched";
+    ipi.is_ipi = true;
+    ipi.on_start = [](CpuCore &) { return Tick{200}; };
+    core->postInterrupt(std::move(ipi));
+    events.run();
+    EXPECT_EQ(core->irqCount(), 1u);
+    EXPECT_EQ(core->ipiCount(), 1u);
+}
+
+TEST_F(CoreTest, IdleCoreEntersCc6AfterGrace)
+{
+    core->goIdle();
+    events.runUntil(core->params().idle_grace + msToTicks(2));
+    EXPECT_EQ(core->state(), CoreState::Asleep);
+    core->finalizeStats();
+    EXPECT_GT(core->cc6Ticks(), 0u);
+}
+
+TEST_F(CoreTest, InterruptWakesSleepingCoreWithLatency)
+{
+    core->goIdle();
+    events.runUntil(msToTicks(2));
+    ASSERT_EQ(core->state(), CoreState::Asleep);
+
+    Tick completed_at = 0;
+    Irq irq;
+    irq.label = "wake";
+    irq.on_start = [](CpuCore &) { return Tick{100}; };
+    irq.on_complete = [&](CpuCore &core2) { completed_at = core2.now(); };
+    const Tick posted_at = events.now();
+    core->postInterrupt(std::move(irq));
+    EXPECT_EQ(core->state(), CoreState::Waking);
+    events.run();
+    EXPECT_GE(completed_at,
+              posted_at + core->params().cc6_exit_latency);
+    EXPECT_EQ(core->irqCount(), 1u);
+    // Residency was recorded up to the wake.
+    EXPECT_GT(core->cc6Ticks(), 0u);
+}
+
+TEST_F(CoreTest, Cc6EntryFlushesL1)
+{
+    core->l1d().access(0x1234);
+    ASSERT_TRUE(core->l1d().contains(0x1234));
+    core->goIdle();
+    events.runUntil(msToTicks(2));
+    ASSERT_EQ(core->state(), CoreState::Asleep);
+    EXPECT_FALSE(core->l1d().contains(0x1234));
+}
+
+TEST_F(CoreTest, GovernorAvoidsSleepUnderFrequentInterrupts)
+{
+    // Hammer the core with closely spaced interrupts so the
+    // inter-arrival EMA sinks below min_sleep_gap.
+    for (int i = 0; i < 50; ++i) {
+        events.schedule(static_cast<Tick>(i) * usToTicks(10), [this] {
+            Irq irq;
+            irq.label = "tick";
+            irq.on_start = [](CpuCore &) { return Tick{100}; };
+            core->postInterrupt(std::move(irq));
+        });
+    }
+    const Tick burst_end = usToTicks(10) * 49 + usToTicks(5);
+    // Just after the burst the predictor blocks CC6 entry even past
+    // the grace period...
+    events.runUntil(burst_end + core->params().idle_grace * 2);
+    EXPECT_NE(core->state(), CoreState::Asleep);
+    // ...but once no interrupt has arrived for min_sleep_gap, the
+    // core finally drops into CC6.
+    events.runUntil(burst_end + core->params().min_sleep_gap
+                    + core->params().idle_grace * 3);
+    EXPECT_EQ(core->state(), CoreState::Asleep);
+}
+
+TEST_F(CoreTest, ModeSwitchesAreCounted)
+{
+    FixedBurstModel model(1, 1000, true, false);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    events.run();
+    // At least one user->kernel transition happened (initial mode is
+    // user).
+    EXPECT_GE(stats.valueOf("core0.mode_switches"), 1.0);
+}
+
+TEST_F(CoreTest, DetachAndContinueSemantics)
+{
+    FixedBurstModel model(100, usToTicks(10), false, false);
+    Thread thread(1, "t", kPrioUser, &model);
+    core->dispatch(&thread);
+    events.runUntil(usToTicks(5));
+    core->requestResched(); // Truncates; listener continues it.
+    EXPECT_GE(model.preemptions, 1);
+    EXPECT_EQ(core->currentThread(), &thread);
+}
+
+TEST_F(CoreTest, RequestReschedNoopWhenIdle)
+{
+    core->requestResched(); // Must not crash or call listener.
+    EXPECT_EQ(listener.boundary_calls, 0);
+}
+
+TEST_F(CoreTest, StatsFormulasRegistered)
+{
+    EXPECT_NE(stats.find("core0.ticks.user"), nullptr);
+    EXPECT_NE(stats.find("core0.ticks.ssr"), nullptr);
+    EXPECT_NE(stats.find("core0.ipis"), nullptr);
+    EXPECT_NE(stats.find("core0.l1d.user_misses"), nullptr);
+}
+
+TEST_F(CoreTest, PendingIrqsDrainInOrder)
+{
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+        Irq irq;
+        irq.label = "n" + std::to_string(i);
+        irq.on_start = [](CpuCore &) { return Tick{300}; };
+        irq.on_complete = [&order, i](CpuCore &) { order.push_back(i); };
+        core->postInterrupt(std::move(irq));
+    }
+    events.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(core->irqCount(), 3u);
+}
+
+TEST_F(CoreTest, KernelBurstDurationIsExact)
+{
+    FixedBurstModel model(1, 12345, true, false);
+    Thread thread(1, "t", kPrioUser, &model);
+    const Tick start = events.now();
+    core->dispatch(&thread);
+    events.run();
+    // Duration = burst + context switch + mode switch.
+    const Tick expected = 12345 + core->params().context_switch
+        + core->params().mode_switch;
+    EXPECT_EQ(model.total_ran, expected);
+    (void)start;
+}
+
+} // namespace
+} // namespace hiss

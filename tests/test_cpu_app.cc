@@ -1,0 +1,171 @@
+/** @file Unit tests for the fork-join CPU application model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+class CpuAppTest : public ::testing::Test
+{
+  protected:
+    CpuAppTest()
+    {
+        SystemConfig config;
+        config.seed = 71;
+        sys = std::make_unique<HeteroSystem>(config);
+    }
+
+    static CpuAppParams
+    tinyApp(int threads = 4, std::uint64_t iters = 3)
+    {
+        CpuAppParams p;
+        p.name = "tiny";
+        p.threads = threads;
+        p.iterations = iters;
+        p.parallel_insts = 100'000;
+        p.serial_insts = 20'000;
+        return p;
+    }
+
+    std::unique_ptr<HeteroSystem> sys;
+};
+
+TEST_F(CpuAppTest, RunsToCompletion)
+{
+    CpuApp &app = sys->addCpuApp(tinyApp());
+    app.start();
+    const bool finished = sys->runUntilCondition(
+        [&app] { return app.done(); }, msToTicks(100));
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(app.iterationsDone(), 3u);
+    EXPECT_GT(app.completionTime(), 0u);
+}
+
+TEST_F(CpuAppTest, CompletionCallbackFires)
+{
+    CpuApp &app = sys->addCpuApp(tinyApp());
+    bool called = false;
+    app.setOnComplete([&called] { called = true; });
+    app.start();
+    sys->runUntilCondition([&app] { return app.done(); },
+                           msToTicks(100));
+    EXPECT_TRUE(called);
+}
+
+TEST_F(CpuAppTest, SingleThreadedAppWorks)
+{
+    CpuApp &app = sys->addCpuApp(tinyApp(1));
+    app.start();
+    EXPECT_TRUE(sys->runUntilCondition([&app] { return app.done(); },
+                                       msToTicks(100)));
+}
+
+TEST_F(CpuAppTest, SerialSectionOnlyDelaysNotDeadlocks)
+{
+    CpuAppParams p = tinyApp();
+    p.serial_insts = 500'000; // Heavy serial section per iteration.
+    CpuApp &app = sys->addCpuApp(p);
+    app.start();
+    EXPECT_TRUE(sys->runUntilCondition([&app] { return app.done(); },
+                                       msToTicks(200)));
+}
+
+TEST_F(CpuAppTest, NoSerialSectionIsValid)
+{
+    CpuAppParams p = tinyApp();
+    p.serial_insts = 0;
+    CpuApp &app = sys->addCpuApp(p);
+    app.start();
+    EXPECT_TRUE(sys->runUntilCondition([&app] { return app.done(); },
+                                       msToTicks(100)));
+}
+
+TEST_F(CpuAppTest, RuntimeScalesWithIterations)
+{
+    SystemConfig config;
+    config.seed = 72;
+    HeteroSystem short_sys(config);
+    CpuApp &short_app = short_sys.addCpuApp(tinyApp(4, 2));
+    short_app.start();
+    short_sys.runUntilCondition([&] { return short_app.done(); },
+                                msToTicks(200));
+
+    HeteroSystem long_sys(config);
+    CpuApp &long_app = long_sys.addCpuApp(tinyApp(4, 8));
+    long_app.start();
+    long_sys.runUntilCondition([&] { return long_app.done(); },
+                               msToTicks(200));
+
+    ASSERT_TRUE(short_app.done());
+    ASSERT_TRUE(long_app.done());
+    EXPECT_GT(long_app.completionTime(),
+              short_app.completionTime() * 2);
+}
+
+TEST_F(CpuAppTest, MoreCoresSpeedUpParallelWork)
+{
+    // 4 threads on 1 core vs 4 cores.
+    SystemConfig uni;
+    uni.seed = 73;
+    uni.num_cores = 1;
+    HeteroSystem uni_sys(uni);
+    CpuApp &uni_app = uni_sys.addCpuApp(tinyApp(4, 4));
+    uni_app.start();
+    uni_sys.runUntilCondition([&] { return uni_app.done(); },
+                              msToTicks(500));
+
+    SystemConfig quad;
+    quad.seed = 73;
+    HeteroSystem quad_sys(quad);
+    CpuApp &quad_app = quad_sys.addCpuApp(tinyApp(4, 4));
+    quad_app.start();
+    quad_sys.runUntilCondition([&] { return quad_app.done(); },
+                               msToTicks(500));
+
+    ASSERT_TRUE(uni_app.done());
+    ASSERT_TRUE(quad_app.done());
+    EXPECT_GT(uni_app.completionTime(),
+              quad_app.completionTime() * 2);
+}
+
+TEST_F(CpuAppTest, ValidationErrors)
+{
+    CpuAppParams p = tinyApp();
+    p.threads = 0;
+    EXPECT_THROW(sys->addCpuApp(p), FatalError);
+
+    p = tinyApp();
+    p.iterations = 0;
+    EXPECT_THROW(sys->addCpuApp(p), FatalError);
+
+    p = tinyApp();
+    p.parallel_insts = 0;
+    EXPECT_THROW(sys->addCpuApp(p), FatalError);
+}
+
+TEST_F(CpuAppTest, DoubleStartRejected)
+{
+    CpuApp &app = sys->addCpuApp(tinyApp());
+    app.start();
+    EXPECT_THROW(app.start(), FatalError);
+}
+
+TEST_F(CpuAppTest, TwoAppsShareTheMachine)
+{
+    CpuApp &a = sys->addCpuApp(tinyApp(2, 2));
+    CpuAppParams bp = tinyApp(2, 2);
+    bp.name = "tiny2";
+    CpuApp &b = sys->addCpuApp(bp);
+    a.start();
+    b.start();
+    EXPECT_TRUE(sys->runUntilCondition(
+        [&] { return a.done() && b.done(); }, msToTicks(300)));
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,149 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hiss {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.numPending(), 0u);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityOrdersSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); }, EventPriority::Default);
+    q.schedule(10, [&] { order.push_back(0); }, EventPriority::Interrupt);
+    q.schedule(10, [&] { order.push_back(1); }, EventPriority::Device);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(q.pending(id));
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id)); // Double cancel is rejected.
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterExecutionFails)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.runUntil(100);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue q;
+    std::vector<Tick> times;
+    q.schedule(10, [&] {
+        times.push_back(q.now());
+        q.schedule(10, [&] { times.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(times, (std::vector<Tick>{10, 10}));
+}
+
+TEST(EventQueue, NumExecutedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(static_cast<Tick>(i + 1), [] {});
+    q.run();
+    EXPECT_EQ(q.numExecuted(), 7u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.step();
+    q.reset();
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.numExecuted(), 0u);
+}
+
+TEST(EventQueueDeath, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+} // namespace
+} // namespace hiss

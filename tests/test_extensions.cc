@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the extension features: SSR stage-latency decomposition
+ * (Fig. 2 quantified), the token-bucket throttling policy,
+ * multi-accelerator systems, and sleeper-credit scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hiss.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+GpuWorkloadParams
+smallWorkload()
+{
+    GpuWorkloadParams p;
+    p.name = "small";
+    p.wavefronts = 4;
+    p.pages = 64;
+    p.main_visits = 256;
+    p.chunks_per_visit = 2;
+    p.reuse_fraction = 0.5;
+    p.chunk_duration = 500;
+    p.fault_replay = usToTicks(5);
+    return p;
+}
+
+TEST(StageStats, DecompositionCoversEveryServicedFault)
+{
+    SystemConfig config;
+    config.seed = 101;
+    HeteroSystem sys(config);
+    sys.launchGpu(smallWorkload(), true, false);
+    sys.runUntilCondition(
+        [&sys] { return sys.gpu().kernelsCompleted() > 0; },
+        msToTicks(200));
+    sys.runUntil(sys.now() + msToTicks(2));
+
+    const SsrStageStats &stages = sys.kernel().services().stageStats();
+    ASSERT_NE(stages.total, nullptr);
+    // Every serviced request is decomposed (duplicate faults for a
+    // page whose first fault is still in flight are serviced too, so
+    // the count can exceed the GPU's fresh-fault count).
+    EXPECT_EQ(stages.total->count(),
+              sys.kernel().services().totalServiced());
+    EXPECT_GE(stages.total->count(), sys.gpu().faultsResolved());
+    EXPECT_EQ(stages.issue_to_drain->count(), stages.total->count());
+
+    // The stage means must sum to the total mean.
+    const double stage_sum = stages.issue_to_drain->mean()
+        + stages.drain_to_queue->mean()
+        + stages.queue_to_service->mean()
+        + stages.service_to_done->mean();
+    EXPECT_NEAR(stage_sum, stages.total->mean(),
+                stages.total->mean() * 1e-9 + 1e-6);
+
+    // Every stage is non-trivial in the split-handler design.
+    EXPECT_GT(stages.issue_to_drain->mean(), 0.0);
+    EXPECT_GT(stages.drain_to_queue->mean(), 0.0);
+    EXPECT_GT(stages.service_to_done->mean(), 0.0);
+}
+
+TEST(StageStats, MonolithicShortensDrainToQueue)
+{
+    auto drain_to_queue_mean = [](bool monolithic) {
+        SystemConfig config;
+        config.seed = 102;
+        config.ssr_driver.monolithic_bottom_half = monolithic;
+        HeteroSystem sys(config);
+        sys.launchGpu(smallWorkload(), true, false);
+        sys.runUntilCondition(
+            [&sys] { return sys.gpu().kernelsCompleted() > 0; },
+            msToTicks(200));
+        sys.runUntil(sys.now() + msToTicks(2));
+        return sys.kernel()
+            .services()
+            .stageStats()
+            .drain_to_queue->mean();
+    };
+    // Monolithic mode queues work straight from the hardirq; split
+    // mode pays the bottom-half wake and pre-processing.
+    EXPECT_LT(drain_to_queue_mean(true), drain_to_queue_mean(false));
+}
+
+TEST(TokenBucket, BoundsSsrFractionLikeBackoff)
+{
+    auto ssr_fraction = [](ThrottlePolicy policy) {
+        SystemConfig config;
+        config.seed = 103;
+        config.enableQos(0.05);
+        config.kernel.qos.policy = policy;
+        HeteroSystem sys(config);
+        sys.launchGpu(gpu_suite::params("ubench"), true, true);
+        sys.runUntil(msToTicks(15));
+        sys.finalizeStats();
+        Tick ssr = 0;
+        for (int c = 0; c < sys.kernel().numCores(); ++c)
+            ssr += sys.kernel().core(c).ssrTicks();
+        return static_cast<double>(ssr)
+            / (4.0 * static_cast<double>(sys.now()));
+    };
+    EXPECT_LT(ssr_fraction(ThrottlePolicy::ExponentialBackoff), 0.12);
+    EXPECT_LT(ssr_fraction(ThrottlePolicy::TokenBucket), 0.12);
+}
+
+TEST(TokenBucket, StillServicesRequests)
+{
+    SystemConfig config;
+    config.seed = 104;
+    config.enableQos(0.05);
+    config.kernel.qos.policy = ThrottlePolicy::TokenBucket;
+    HeteroSystem sys(config);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.runUntil(msToTicks(15));
+    EXPECT_GT(sys.gpu().faultsResolved(), 50u);
+    EXPECT_GT(sys.kernel().qosGovernor()->delaysApplied(), 0u);
+}
+
+TEST(TokenBucket, ValidationRejectsBadCap)
+{
+    SystemConfig config;
+    config.enableQos(0.05);
+    config.kernel.qos.bucket_cap_windows = 0.0;
+    EXPECT_THROW(HeteroSystem sys(config), FatalError);
+}
+
+TEST(MultiAccelerator, DevicesGetDisjointNamespacesAndStats)
+{
+    SystemConfig config;
+    config.seed = 105;
+    HeteroSystem sys(config);
+    Gpu &second = sys.addAccelerator();
+    EXPECT_EQ(sys.numExtraAccelerators(), 1u);
+    EXPECT_NE(sys.stats().find("gpu1.faults_issued"), nullptr);
+
+    sys.launchGpu(smallWorkload(), true, false);
+    second.launch(smallWorkload(), true, false);
+    sys.runUntilCondition(
+        [&] {
+            return sys.gpu().kernelsCompleted() > 0
+                && second.kernelsCompleted() > 0;
+        },
+        msToTicks(400));
+    EXPECT_EQ(sys.gpu().kernelsCompleted(), 1u);
+    EXPECT_EQ(second.kernelsCompleted(), 1u);
+    // Disjoint PASIDs: each device faulted into its own space.
+    EXPECT_EQ(sys.gpu().faultsIssued() + second.faultsIssued(),
+              sys.kernel().addressSpaces().totalMapped());
+    EXPECT_EQ(sys.kernel().gpuPageTable(0).numMapped(),
+              sys.gpu().faultsIssued());
+    EXPECT_EQ(sys.kernel().gpuPageTable(1).numMapped(),
+              second.faultsIssued());
+}
+
+TEST(MultiAccelerator, MoreAcceleratorsMoreInterference)
+{
+    auto ssr_fraction = [](int accels) {
+        SystemConfig config;
+        config.seed = 106;
+        HeteroSystem sys(config);
+        sys.launchGpu(gpu_suite::params("sssp"), true, true);
+        for (int a = 1; a < accels; ++a)
+            sys.addAccelerator().launch(gpu_suite::params("sssp"),
+                                        true, true);
+        sys.runUntil(msToTicks(15));
+        sys.finalizeStats();
+        Tick ssr = 0;
+        for (int c = 0; c < sys.kernel().numCores(); ++c)
+            ssr += sys.kernel().core(c).ssrTicks();
+        return static_cast<double>(ssr)
+            / (4.0 * static_cast<double>(sys.now()));
+    };
+    const double one = ssr_fraction(1);
+    const double three = ssr_fraction(3);
+    EXPECT_GT(three, one * 1.5);
+}
+
+/** Trivial model so plain Threads can be constructed in tests. */
+class NullModel : public ExecutionModel
+{
+  public:
+    BurstRequest
+    nextBurst(CpuCore &) override
+    {
+        BurstRequest br;
+        br.kind = BurstRequest::Kind::Finish;
+        return br;
+    }
+    void onBurstDone(CpuCore &, Tick, std::uint64_t, bool) override {}
+};
+
+TEST(SleeperCredit, MostlyIdleThreadHasLowShare)
+{
+    NullModel model;
+    Thread t(1, "t", kPrioUser, &model);
+    // Woken at t=1000 having consumed no CPU: share stays low.
+    t.noteWake(1000);
+    t.addTotalCpuTime(100);
+    t.noteWake(2000); // 100 of 1000 ticks on CPU.
+    EXPECT_LT(t.recentShare(), 0.35);
+
+    // A CPU hog: consumed nearly the whole interval.
+    Thread hog(2, "hog", kPrioUser, &model);
+    hog.noteWake(1000);
+    hog.addTotalCpuTime(950);
+    hog.noteWake(2000);
+    hog.addTotalCpuTime(980);
+    hog.noteWake(3000);
+    EXPECT_GT(hog.recentShare(), 0.5);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,179 @@
+/** @file Unit tests for the GPU device model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "sim/logging.h"
+#include "workloads/gpu_suite.h"
+
+namespace hiss {
+namespace {
+
+class GpuTest : public ::testing::Test
+{
+  protected:
+    GpuTest()
+    {
+        SystemConfig config;
+        config.seed = 51;
+        config.kernel.housekeeping_period = 0;
+        sys = std::make_unique<HeteroSystem>(config);
+    }
+
+    static GpuWorkloadParams
+    tinyWorkload()
+    {
+        GpuWorkloadParams p;
+        p.name = "tiny";
+        p.wavefronts = 2;
+        p.pages = 16;
+        p.main_visits = 64;
+        p.chunks_per_visit = 2;
+        p.reuse_fraction = 0.5;
+        p.chunk_duration = 500;
+        p.fault_replay = usToTicks(5);
+        return p;
+    }
+
+    std::unique_ptr<HeteroSystem> sys;
+};
+
+TEST_F(GpuTest, PinnedModeCompletesWithoutFaults)
+{
+    sys->launchGpu(tinyWorkload(), /*demand_paging=*/false,
+                   /*loop=*/false);
+    sys->runUntil(msToTicks(50));
+    EXPECT_EQ(sys->gpu().kernelsCompleted(), 1u);
+    EXPECT_EQ(sys->gpu().faultsIssued(), 0u);
+    EXPECT_EQ(sys->iommu().pprsIssued(), 0u);
+    EXPECT_GT(sys->gpu().chunksCompleted(), 0u);
+}
+
+TEST_F(GpuTest, DemandPagingGeneratesAndResolvesFaults)
+{
+    sys->launchGpu(tinyWorkload(), true, false);
+    sys->runUntil(msToTicks(100));
+    EXPECT_EQ(sys->gpu().kernelsCompleted(), 1u);
+    EXPECT_GT(sys->gpu().faultsIssued(), 0u);
+    EXPECT_EQ(sys->gpu().faultsIssued(), sys->gpu().faultsResolved());
+    EXPECT_LE(sys->gpu().faultsIssued(), 16u); // At most one per page.
+    EXPECT_GT(sys->gpu().stallTicks(), 0u);
+}
+
+TEST_F(GpuTest, DemandPagingIsSlowerThanPinned)
+{
+    sys->launchGpu(tinyWorkload(), false, false);
+    sys->runUntil(msToTicks(100));
+    const Tick pinned = sys->gpu().firstCompletionTime();
+
+    SystemConfig config;
+    config.seed = 51;
+    config.kernel.housekeeping_period = 0;
+    HeteroSystem sys2(config);
+    sys2.launchGpu(tinyWorkload(), true, false);
+    sys2.runUntil(msToTicks(100));
+    const Tick paged = sys2.gpu().firstCompletionTime();
+
+    ASSERT_GT(pinned, 0u);
+    ASSERT_GT(paged, 0u);
+    EXPECT_GT(paged, pinned);
+}
+
+TEST_F(GpuTest, OutstandingLimitIsRespected)
+{
+    GpuWorkloadParams p = tinyWorkload();
+    p.wavefronts = 12;
+    p.pages = 200;
+    p.main_visits = 400;
+    p.reuse_fraction = 0.0; // Every visit faults.
+    // Limit far below the wavefront count.
+    SystemConfig config;
+    config.seed = 52;
+    config.gpu.max_outstanding = 4;
+    config.kernel.housekeeping_period = 0;
+    HeteroSystem sys2(config);
+    sys2.launchGpu(p, true, false);
+    // Outstanding never exceeds the limit at any instant.
+    for (int i = 0; i < 2000; ++i) {
+        if (sys2.events().empty())
+            break;
+        sys2.events().step();
+        ASSERT_LE(sys2.gpu().outstanding(), 4u);
+    }
+}
+
+TEST_F(GpuTest, LoopModeRelaunchesWithFreshPages)
+{
+    GpuWorkloadParams p = tinyWorkload();
+    std::uint64_t completions_seen = 0;
+    sys->launchGpu(p, true, true,
+                   [&completions_seen] { ++completions_seen; });
+    sys->runUntil(msToTicks(200));
+    EXPECT_GT(sys->gpu().kernelsCompleted(), 1u);
+    EXPECT_EQ(completions_seen, sys->gpu().kernelsCompleted());
+    // Fresh pages each launch: faults keep accumulating.
+    EXPECT_GT(sys->gpu().faultsIssued(),
+              static_cast<std::uint64_t>(p.pages));
+}
+
+TEST_F(GpuTest, PreloadClustersFaultsEarly)
+{
+    GpuWorkloadParams p = tinyWorkload();
+    p.pages = 64;
+    p.preload_fraction = 1.0;
+    p.preload_chunks_per_page = 1;
+    p.main_visits = 600;
+    p.reuse_fraction = 1.0; // Main phase never faults.
+    p.chunks_per_visit = 8;
+    sys->launchGpu(p, true, false);
+    sys->runUntil(msToTicks(200));
+    ASSERT_EQ(sys->gpu().kernelsCompleted(), 1u);
+    // All faults happened (preload), none in the main phase.
+    EXPECT_EQ(sys->gpu().faultsIssued(), 64u);
+}
+
+TEST_F(GpuTest, UnboundedStreamingNeverReuses)
+{
+    GpuWorkloadParams p = tinyWorkload();
+    p.unbounded_pages = true;
+    p.main_visits = 300;
+    p.chunks_per_visit = 1;
+    sys->launchGpu(p, true, false);
+    sys->runUntil(msToTicks(400));
+    ASSERT_EQ(sys->gpu().kernelsCompleted(), 1u);
+    EXPECT_EQ(sys->gpu().faultsIssued(), 300u);
+}
+
+TEST_F(GpuTest, LaunchValidation)
+{
+    GpuWorkloadParams p = tinyWorkload();
+    p.wavefronts = 0;
+    EXPECT_THROW(sys->launchGpu(p, true, false), FatalError);
+
+    p = tinyWorkload();
+    p.reuse_fraction = 1.5;
+    EXPECT_THROW(sys->launchGpu(p, true, false), FatalError);
+}
+
+TEST_F(GpuTest, DoubleLaunchRejected)
+{
+    sys->launchGpu(tinyWorkload(), true, false);
+    EXPECT_THROW(sys->launchGpu(tinyWorkload(), true, false),
+                 FatalError);
+}
+
+TEST_F(GpuTest, SsrRateReflectsResolvedFaults)
+{
+    sys->launchGpu(tinyWorkload(), true, false);
+    sys->runUntil(msToTicks(100));
+    const double rate = sys->gpu().ssrRate();
+    const double expected =
+        static_cast<double>(sys->gpu().faultsResolved())
+        / ticksToSec(sys->now());
+    EXPECT_DOUBLE_EQ(rate, expected);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,237 @@
+/** @file Unit tests for the IOMMU: IOTLB, walks, PPRs, MSI policies. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iommu/iommu.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+class IommuTest : public ::testing::Test
+{
+  protected:
+    IommuTest() : ctx{events, stats, 41} {}
+
+    void
+    build(IommuParams params = {}, int cores = 4)
+    {
+        KernelParams kparams;
+        kparams.housekeeping_period = 0;
+        kernel = std::make_unique<Kernel>(ctx, cores, CpuCoreParams{},
+                                          kparams);
+        iommu = std::make_unique<Iommu>(ctx, *kernel, params);
+        driver = &kernel->attachSsrSource("iommu_drv", *iommu,
+                                          SsrDriverParams{});
+        iommu->setDriver(driver);
+    }
+
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx;
+    std::unique_ptr<Kernel> kernel;
+    std::unique_ptr<Iommu> iommu;
+    SsrDriver *driver = nullptr;
+};
+
+TEST_F(IommuTest, MappedPageResolvesViaWalkThenIotlb)
+{
+    build();
+    kernel->gpuPageTable().map(50, 7);
+    int done = 0;
+    Tick first_done = 0;
+    iommu->translate(50, [&] {
+        ++done;
+        first_done = events.now();
+    });
+    events.runUntil(usToTicks(10));
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(first_done, iommu->params().walk_latency);
+    EXPECT_EQ(iommu->iotlbMisses(), 1u);
+
+    // Second access: IOTLB hit, much faster.
+    const Tick start = events.now();
+    Tick second_done = 0;
+    iommu->translate(50, [&] { second_done = events.now(); });
+    events.runUntil(start + usToTicks(10));
+    EXPECT_EQ(second_done - start, iommu->params().iotlb_hit_latency);
+    EXPECT_EQ(iommu->iotlbHits(), 1u);
+    EXPECT_EQ(iommu->pprsIssued(), 0u);
+}
+
+TEST_F(IommuTest, UnmappedPageFaultsThroughFullChain)
+{
+    build();
+    int done = 0;
+    iommu->translate(99, [&] { ++done; });
+    events.runUntil(msToTicks(2));
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(iommu->pprsIssued(), 1u);
+    EXPECT_EQ(iommu->msisRaised(), 1u);
+    EXPECT_EQ(iommu->faultsResolved(), 1u);
+    EXPECT_TRUE(kernel->gpuPageTable().isMapped(99));
+    // The resolved translation is cached.
+    EXPECT_GE(iommu->iotlbMisses(), 1u);
+}
+
+TEST_F(IommuTest, PinnedModeAutoMapsWithoutHost)
+{
+    build();
+    int done = 0;
+    iommu->translate(123, [&] { ++done; }, /*allow_fault=*/false);
+    events.runUntil(usToTicks(10));
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(iommu->pprsIssued(), 0u);
+    EXPECT_EQ(iommu->msisRaised(), 0u);
+    EXPECT_TRUE(kernel->gpuPageTable().isMapped(123));
+}
+
+TEST_F(IommuTest, IotlbEvictsFifoWhenFull)
+{
+    IommuParams params;
+    params.iotlb_entries = 4;
+    build(params);
+    for (Vpn v = 0; v < 6; ++v) {
+        kernel->gpuPageTable().map(v, v + 100);
+        iommu->translate(v, [] {});
+        events.runUntil(events.now() + usToTicks(2));
+    }
+    // vpns 0 and 1 were evicted; re-access misses the IOTLB.
+    const std::uint64_t misses_before = iommu->iotlbMisses();
+    iommu->translate(0, [] {});
+    events.runUntil(events.now() + usToTicks(2));
+    EXPECT_EQ(iommu->iotlbMisses(), misses_before + 1);
+}
+
+TEST_F(IommuTest, SingleCoreSteeringTargetsOnlyThatCore)
+{
+    IommuParams params;
+    params.steering = MsiSteering::SingleCore;
+    params.steer_core = 2;
+    build(params);
+    for (Vpn v = 500; v < 510; ++v) {
+        iommu->translate(v, [] {});
+        events.runUntil(events.now() + usToTicks(60));
+    }
+    events.runUntil(events.now() + msToTicks(1));
+    const ProcStats &proc = kernel->procInterrupts();
+    EXPECT_GT(proc.irqCount("iommu_drv", 2), 0u);
+    EXPECT_EQ(proc.irqCount("iommu_drv", 0), 0u);
+    EXPECT_EQ(proc.irqCount("iommu_drv", 1), 0u);
+    EXPECT_EQ(proc.irqCount("iommu_drv", 3), 0u);
+}
+
+TEST_F(IommuTest, SteerCoreOutOfRangeRejected)
+{
+    IommuParams params;
+    params.steering = MsiSteering::SingleCore;
+    params.steer_core = 9;
+    EXPECT_THROW(build(params), FatalError);
+}
+
+TEST_F(IommuTest, CoalescingBatchesPprsIntoOneMsi)
+{
+    IommuParams params;
+    params.coalescing = true;
+    params.coalesce_window = usToTicks(13);
+    build(params);
+    // Three faults well inside one window.
+    iommu->translate(700, [] {});
+    events.runUntil(usToTicks(1));
+    iommu->translate(701, [] {});
+    iommu->translate(702, [] {});
+    events.runUntil(usToTicks(5));
+    // No MSI yet: the window is still open.
+    EXPECT_EQ(iommu->msisRaised(), 0u);
+    events.runUntil(msToTicks(2));
+    EXPECT_EQ(iommu->msisRaised(), 1u);
+    EXPECT_EQ(iommu->faultsResolved(), 3u);
+}
+
+TEST_F(IommuTest, CoalescingBurstThresholdRaisesEarly)
+{
+    IommuParams params;
+    params.coalescing = true;
+    params.coalesce_window = msToTicks(5); // Long window...
+    params.coalesce_burst = 4;             // ...but a small burst cap.
+    build(params);
+    for (Vpn v = 800; v < 804; ++v)
+        iommu->translate(v, [] {});
+    events.runUntil(usToTicks(50));
+    EXPECT_GE(iommu->msisRaised(), 1u); // Raised well before 5 ms.
+}
+
+TEST_F(IommuTest, CoalescingValidation)
+{
+    IommuParams params;
+    params.coalescing = true;
+    params.coalesce_window = 0;
+    EXPECT_THROW(build(params), FatalError);
+}
+
+TEST_F(IommuTest, FaultLatencyDistributionSampled)
+{
+    build();
+    iommu->translate(900, [] {});
+    events.runUntil(msToTicks(2));
+    const auto *latency = dynamic_cast<const Distribution *>(
+        stats.find("iommu.fault_latency"));
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->count(), 1u);
+    EXPECT_GT(latency->mean(), 0.0);
+}
+
+TEST_F(IommuTest, DuplicateFaultsBothResolve)
+{
+    build();
+    int done = 0;
+    iommu->translate(950, [&] { ++done; });
+    iommu->translate(950, [&] { ++done; });
+    events.runUntil(msToTicks(2));
+    EXPECT_EQ(done, 2);
+    EXPECT_TRUE(kernel->gpuPageTable().isMapped(950));
+}
+
+TEST_F(IommuTest, PasidsFaultIntoSeparateAddressSpaces)
+{
+    build();
+    int done = 0;
+    iommu->translate(0x111, [&] { ++done; }, true, /*pasid=*/0);
+    events.runUntil(msToTicks(2));
+    iommu->translate(0x222, [&] { ++done; }, true, /*pasid=*/7);
+    events.runUntil(msToTicks(4));
+    EXPECT_EQ(done, 2);
+    EXPECT_TRUE(kernel->gpuPageTable(0).isMapped(0x111));
+    EXPECT_FALSE(kernel->gpuPageTable(0).isMapped(0x222));
+    EXPECT_TRUE(kernel->gpuPageTable(7).isMapped(0x222));
+    EXPECT_EQ(kernel->addressSpaces().size(), 2u);
+}
+
+TEST_F(IommuTest, AdaptiveCoalescingShortensSparseStreamWait)
+{
+    IommuParams params;
+    params.coalescing = true;
+    params.coalesce_window = usToTicks(13);
+    params.adaptive_coalescing = true;
+    build(params);
+    // A lone PPR after a long quiet period: the adaptive window
+    // should not make it wait anywhere near the 13 us maximum...
+    events.runUntil(msToTicks(2));
+    int done = 0;
+    Tick done_at = 0;
+    const Tick start = events.now();
+    iommu->translate(0x800, [&] {
+        ++done;
+        done_at = events.now();
+    });
+    events.runUntil(start + msToTicks(2));
+    ASSERT_EQ(done, 1);
+    const Tick fixed_window_floor = start + usToTicks(13);
+    // ...so it resolves sooner than issue + full window + pipeline.
+    EXPECT_LT(done_at, fixed_window_floor + usToTicks(8));
+}
+
+} // namespace
+} // namespace hiss

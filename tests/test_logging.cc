@@ -1,0 +1,83 @@
+/** @file Unit tests for logging, tracing, and error reporting. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        logging::setLevel(logging::Level::Warn);
+        logging::clearTrace();
+    }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn)
+{
+    EXPECT_EQ(logging::level(), logging::Level::Warn);
+}
+
+TEST_F(LoggingTest, SetLevelRoundTrips)
+{
+    logging::setLevel(logging::Level::Silent);
+    EXPECT_EQ(logging::level(), logging::Level::Silent);
+    logging::setLevel(logging::Level::Trace);
+    EXPECT_EQ(logging::level(), logging::Level::Trace);
+}
+
+TEST_F(LoggingTest, TraceRequiresTraceLevelAndCategory)
+{
+    EXPECT_FALSE(logging::traceEnabled("iommu"));
+    logging::enableTrace("iommu");
+    EXPECT_FALSE(logging::traceEnabled("iommu")); // Level still Warn.
+    logging::setLevel(logging::Level::Trace);
+    EXPECT_TRUE(logging::traceEnabled("iommu"));
+    EXPECT_FALSE(logging::traceEnabled("sched"));
+}
+
+TEST_F(LoggingTest, EmptyCategoryEnablesAll)
+{
+    logging::setLevel(logging::Level::Trace);
+    logging::enableTrace("");
+    EXPECT_TRUE(logging::traceEnabled("anything"));
+}
+
+TEST_F(LoggingTest, ClearTraceDisables)
+{
+    logging::setLevel(logging::Level::Trace);
+    logging::enableTrace("x");
+    logging::clearTrace();
+    EXPECT_FALSE(logging::traceEnabled("x"));
+}
+
+TEST_F(LoggingTest, FatalThrowsWithFormattedMessage)
+{
+    try {
+        fatal("bad value %d in %s", 42, "config");
+        FAIL() << "fatal() did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 42 in config");
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    logging::setLevel(logging::Level::Silent);
+    warn("warning %d", 1);
+    inform("info %s", "msg");
+    tracef("cat", 0, "trace %d", 2);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %s broken", "x"),
+                 "invariant x broken");
+}
+
+} // namespace
+} // namespace hiss

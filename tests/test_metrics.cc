@@ -1,0 +1,79 @@
+/** @file Tests for metrics helpers and the table printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+TEST(Metrics, NormalizedPerfBasics)
+{
+    // Perf = 1/runtime: a run twice as long is half the performance.
+    EXPECT_DOUBLE_EQ(normalizedPerf(10.0, 20.0), 0.5);
+    EXPECT_DOUBLE_EQ(normalizedPerf(10.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(normalizedPerf(10.0, 5.0), 2.0);
+    EXPECT_DOUBLE_EQ(normalizedPerf(0.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedPerf(5.0, 0.0), 0.0);
+}
+
+TEST(Metrics, GeomeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Metrics, GeomeanIgnoresNonPositive)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0, 0.0, -3.0}), 6.0);
+}
+
+TEST(Metrics, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Metrics, FormatDoublePrecision)
+{
+    EXPECT_EQ(formatDouble(1.23456, 3), "1.235");
+    EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+}
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter table({"bench", "a", "b"});
+    table.addRow("x264", {0.5, 1.25});
+    table.addRow({"raw", "cell1", "cell2"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("x264"), std::string::npos);
+    EXPECT_NE(out.find("0.500"), std::string::npos);
+    EXPECT_NE(out.find("1.250"), std::string::npos);
+    EXPECT_NE(out.find("cell2"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsPrintEmptyCells)
+{
+    TablePrinter table({"h1", "h2", "h3"});
+    table.addRow({"only-label"});
+    std::ostringstream os;
+    table.print(os);
+    // Two lines: header + one row.
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TablePrinter, NoColumnsRejected)
+{
+    EXPECT_THROW(TablePrinter({}), FatalError);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parameterized robustness sweeps: the full system must run cleanly
+ * and keep its invariants across core counts, cache geometries,
+ * sleep settings, and GPU limits — not just at the Table II default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/hiss.h"
+
+namespace hiss {
+namespace {
+
+GpuWorkloadParams
+sweepWorkload()
+{
+    GpuWorkloadParams p;
+    p.name = "sweep";
+    p.wavefronts = 4;
+    p.pages = 96;
+    p.main_visits = 384;
+    p.chunks_per_visit = 2;
+    p.reuse_fraction = 0.5;
+    p.chunk_duration = 500;
+    p.fault_replay = usToTicks(8);
+    return p;
+}
+
+/** (num_cores, l1_kib, assoc, cc6_exit_us, max_outstanding) */
+using SweepParam = std::tuple<int, int, int, int, int>;
+
+class SystemSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SystemSweep, LoadedSystemRunsCleanAndBalances)
+{
+    const auto [cores, l1_kib, assoc, cc6_us, outstanding] = GetParam();
+    SystemConfig config;
+    config.seed = 7;
+    config.num_cores = cores;
+    config.core.l1d.size_bytes =
+        static_cast<std::uint32_t>(l1_kib) * 1024;
+    config.core.l1d.assoc = static_cast<std::uint32_t>(assoc);
+    config.core.cc6_exit_latency =
+        usToTicks(static_cast<double>(cc6_us));
+    config.gpu.max_outstanding =
+        static_cast<std::uint32_t>(outstanding);
+
+    HeteroSystem sys(config);
+    CpuAppParams app_params = parsec::params("swaptions");
+    app_params.iterations = 2;
+    CpuApp &app = sys.addCpuApp(app_params);
+    app.start();
+    sys.launchGpu(sweepWorkload(), true, true);
+
+    const bool done = sys.runUntilCondition(
+        [&app] { return app.done(); }, msToTicks(500));
+    sys.finalizeStats();
+
+    EXPECT_TRUE(done);
+    EXPECT_GT(sys.gpu().faultsResolved(), 0u);
+    // Conservation holds at every design point.
+    for (int c = 0; c < sys.kernel().numCores(); ++c) {
+        CpuCore &core = sys.kernel().core(c);
+        EXPECT_LE(static_cast<double>(core.userTicks()
+                                      + core.kernelTicks()
+                                      + core.cc6Ticks()),
+                  static_cast<double>(sys.now()) * 1.0001)
+            << "core " << c;
+        EXPECT_LE(core.ssrTicks(), core.kernelTicks()) << "core " << c;
+    }
+    EXPECT_EQ(sys.kernel().addressSpaces().totalMapped(),
+              sys.kernel().frames().allocatedFrames());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignPoints, SystemSweep,
+    ::testing::Values(
+        SweepParam{1, 16, 4, 40, 16},   // Uniprocessor host.
+        SweepParam{2, 16, 4, 40, 16},   // Dual core.
+        SweepParam{4, 16, 4, 40, 16},   // The Table II default.
+        SweepParam{8, 16, 4, 40, 16},   // Wider host.
+        SweepParam{4, 32, 8, 40, 16},   // Bigger L1.
+        SweepParam{4, 8, 2, 40, 16},    // Smaller L1.
+        SweepParam{4, 16, 4, 5, 16},    // Cheap CC6 exits.
+        SweepParam{4, 16, 4, 150, 16},  // Expensive CC6 exits.
+        SweepParam{4, 16, 4, 40, 1},    // Serialized SSRs.
+        SweepParam{4, 16, 4, 40, 64})); // Deep SSR pipelining.
+
+/** QoS must hold across thresholds AND policies. */
+using QosSweepParam = std::tuple<double, int /*ThrottlePolicy*/>;
+
+class QosSweep : public ::testing::TestWithParam<QosSweepParam>
+{
+};
+
+TEST_P(QosSweep, BudgetHeldAndProgressMade)
+{
+    const auto [threshold, policy_int] = GetParam();
+    SystemConfig config;
+    config.seed = 9;
+    config.enableQos(threshold);
+    config.kernel.qos.policy =
+        static_cast<ThrottlePolicy>(policy_int);
+    HeteroSystem sys(config);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.runUntil(msToTicks(12));
+    sys.finalizeStats();
+
+    Tick ssr = 0;
+    for (int c = 0; c < sys.kernel().numCores(); ++c)
+        ssr += sys.kernel().core(c).ssrTicks();
+    const double fraction = static_cast<double>(ssr)
+        / (4.0 * static_cast<double>(sys.now()));
+    EXPECT_LT(fraction, threshold * 2.0 + 0.02);
+    EXPECT_GT(sys.gpu().faultsResolved(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndPolicies, QosSweep,
+    ::testing::Combine(
+        ::testing::Values(0.01, 0.05, 0.25),
+        ::testing::Values(
+            static_cast<int>(ThrottlePolicy::ExponentialBackoff),
+            static_cast<int>(ThrottlePolicy::TokenBucket))));
+
+} // namespace
+} // namespace hiss

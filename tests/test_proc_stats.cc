@@ -1,0 +1,70 @@
+/** @file Unit tests for the /proc/interrupts mirror. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "os/proc_stats.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+TEST(ProcStats, CountsPerLabelPerCore)
+{
+    ProcStats ps(4);
+    ps.countIrq("iommu", 0);
+    ps.countIrq("iommu", 0);
+    ps.countIrq("iommu", 3);
+    ps.countIrq("timer", 1);
+    EXPECT_EQ(ps.irqCount("iommu", 0), 2u);
+    EXPECT_EQ(ps.irqCount("iommu", 3), 1u);
+    EXPECT_EQ(ps.irqCount("iommu", 1), 0u);
+    EXPECT_EQ(ps.irqCount("timer", 1), 1u);
+    EXPECT_EQ(ps.totalFor("iommu"), 3u);
+    EXPECT_EQ(ps.totalFor("missing"), 0u);
+}
+
+TEST(ProcStats, LabelsEnumerated)
+{
+    ProcStats ps(2);
+    ps.countIrq("b", 0);
+    ps.countIrq("a", 1);
+    const auto labels = ps.labels();
+    ASSERT_EQ(labels.size(), 2u);
+    EXPECT_EQ(labels[0], "a"); // Sorted (map order).
+    EXPECT_EQ(labels[1], "b");
+}
+
+TEST(ProcStats, DumpRendersTable)
+{
+    ProcStats ps(2);
+    ps.countIrq("iommu_drv", 0);
+    std::ostringstream os;
+    ps.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("CPU0"), std::string::npos);
+    EXPECT_NE(out.find("CPU1"), std::string::npos);
+    EXPECT_NE(out.find("iommu_drv"), std::string::npos);
+}
+
+TEST(ProcStats, ZeroCoresRejected)
+{
+    EXPECT_THROW(ProcStats(0), FatalError);
+}
+
+TEST(ProcStatsDeath, BadCorePanics)
+{
+    ProcStats ps(2);
+    EXPECT_DEATH(ps.countIrq("x", 5), "bad core");
+}
+
+TEST(ProcStats, UnknownLabelCountReadsZero)
+{
+    ProcStats ps(2);
+    EXPECT_EQ(ps.irqCount("nope", 0), 0u);
+    EXPECT_EQ(ps.irqCount("nope", -1), 0u);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,122 @@
+/** @file Unit tests for the QoS governor (paper Section VI). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/kernel.h"
+#include "os/qos_governor.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+TEST(QosGovernorBackoff, DoublesAndSaturates)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 3};
+    Kernel kernel(ctx, 2, CpuCoreParams{}, KernelParams{});
+
+    QosParams params;
+    params.enabled = true;
+    params.threshold = 0.05;
+    params.max_backoff = usToTicks(100);
+    QosGovernor governor(ctx, kernel.corePointers(), params);
+
+    EXPECT_EQ(governor.initialBackoff(), usToTicks(10));
+    Tick delay = governor.initialBackoff();
+    delay = governor.nextBackoff(delay);
+    EXPECT_EQ(delay, usToTicks(20));
+    delay = governor.nextBackoff(delay);
+    EXPECT_EQ(delay, usToTicks(40));
+    delay = governor.nextBackoff(delay);
+    EXPECT_EQ(delay, usToTicks(80));
+    delay = governor.nextBackoff(delay);
+    EXPECT_EQ(delay, usToTicks(100)); // Saturates at the cap.
+    delay = governor.nextBackoff(delay);
+    EXPECT_EQ(delay, usToTicks(100));
+}
+
+TEST(QosGovernorBackoff, ParamValidation)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 3};
+    Kernel kernel(ctx, 2, CpuCoreParams{}, KernelParams{});
+
+    QosParams bad;
+    bad.threshold = 0.0;
+    EXPECT_THROW(QosGovernor(ctx, kernel.corePointers(), bad),
+                 FatalError);
+    bad.threshold = 0.05;
+    bad.period = 0;
+    EXPECT_THROW(QosGovernor(ctx, kernel.corePointers(), bad),
+                 FatalError);
+}
+
+TEST(QosGovernorBackoff, DelayAccounting)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 3};
+    Kernel kernel(ctx, 2, CpuCoreParams{}, KernelParams{});
+    QosParams params;
+    params.threshold = 0.5;
+    QosGovernor governor(ctx, kernel.corePointers(), params);
+    governor.noteDelayApplied(usToTicks(10));
+    governor.noteDelayApplied(usToTicks(20));
+    EXPECT_EQ(governor.delaysApplied(), 2u);
+    EXPECT_EQ(governor.totalDelay(), usToTicks(30));
+}
+
+/** The governor thread samples and flags an over-budget system. */
+TEST(QosGovernorSampling, DetectsSsrOverload)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 13};
+    KernelParams kparams;
+    kparams.qos.enabled = true;
+    kparams.qos.threshold = 0.05;
+    kparams.housekeeping_period = 0;
+    Kernel kernel(ctx, 2, CpuCoreParams{}, kparams);
+    QosGovernor *governor = kernel.qosGovernor();
+    ASSERT_NE(governor, nullptr);
+
+    // Saturate both cores with back-to-back SSR-flagged interrupts.
+    for (int i = 0; i < 200; ++i) {
+        events.schedule(static_cast<Tick>(i) * usToTicks(5), [&kernel,
+                                                              i] {
+            Irq ssr;
+            ssr.label = "flood";
+            ssr.ssr_related = true;
+            ssr.on_start = [](CpuCore &) { return usToTicks(4); };
+            kernel.deliverIrq(i % 2, std::move(ssr));
+        });
+    }
+    events.runUntil(usToTicks(600));
+    EXPECT_TRUE(governor->overThreshold());
+    EXPECT_GT(governor->measuredFraction(), 0.05);
+
+    // After the flood subsides, the governor relaxes.
+    events.runUntil(usToTicks(600) + msToTicks(2));
+    EXPECT_FALSE(governor->overThreshold());
+}
+
+TEST(QosGovernorSampling, QuietSystemIsUnderThreshold)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 13};
+    KernelParams kparams;
+    kparams.qos.enabled = true;
+    kparams.qos.threshold = 0.01;
+    Kernel kernel(ctx, 2, CpuCoreParams{}, kparams);
+    events.runUntil(msToTicks(2));
+    EXPECT_FALSE(kernel.qosGovernor()->overThreshold());
+    EXPECT_LT(kernel.qosGovernor()->measuredFraction(), 0.01);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,151 @@
+/** @file Unit tests for the deterministic RNG streams. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace hiss {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamsAreIndependent)
+{
+    Rng a(42, "core0.workload");
+    Rng b(42, "core1.workload");
+    Rng a2(42, "core0.workload");
+    EXPECT_NE(a.next(), b.next());
+    Rng a3(42, "core0.workload");
+    EXPECT_EQ(a2.next(), a3.next());
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRealCustomRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-2.0, 3.0);
+        ASSERT_GE(v, -2.0);
+        ASSERT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, WithProbabilityExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.withProbability(0.0));
+        EXPECT_TRUE(rng.withProbability(1.0));
+        EXPECT_FALSE(rng.withProbability(-0.5));
+        EXPECT_TRUE(rng.withProbability(1.5));
+    }
+}
+
+TEST(Rng, WithProbabilityStatistics)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.withProbability(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.exponential(5.0);
+        ASSERT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngDeath, ExponentialRejectsNonPositiveMean)
+{
+    Rng rng(31);
+    EXPECT_DEATH(rng.exponential(0.0), "mean");
+}
+
+} // namespace
+} // namespace hiss

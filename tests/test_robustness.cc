@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Robustness and stress properties: event-queue ordering under
+ * random schedule/cancel interleavings, scheduler work stealing,
+ * and GPU slot-waiter fairness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/hiss.h"
+#include "sim/random.h"
+
+namespace hiss {
+namespace {
+
+TEST(EventQueueStress, RandomScheduleCancelPreservesOrder)
+{
+    EventQueue queue;
+    Rng rng(4242);
+    std::vector<Tick> fired;
+    std::vector<EventId> live;
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+
+    for (int round = 0; round < 2000; ++round) {
+        const int action = static_cast<int>(rng.uniformInt(0, 2));
+        if (action < 2) {
+            const Tick when =
+                queue.now() + rng.uniformInt(1, 10'000);
+            live.push_back(queue.schedule(
+                when, [&fired, &queue] { fired.push_back(queue.now()); }));
+            ++scheduled;
+        } else if (!live.empty()) {
+            const std::size_t pick = rng.uniformInt(0, live.size() - 1);
+            if (queue.cancel(live[pick]))
+                ++cancelled;
+            live.erase(live.begin()
+                       + static_cast<std::ptrdiff_t>(pick));
+        }
+        // Occasionally run part of the queue.
+        if (round % 100 == 99)
+            queue.runUntil(queue.now() + 3'000);
+    }
+    queue.run();
+
+    // Everything scheduled either fired or was cancelled.
+    EXPECT_EQ(fired.size() + cancelled, scheduled);
+    // Firing times never go backwards.
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        ASSERT_GE(fired[i], fired[i - 1]) << "at index " << i;
+}
+
+TEST(SchedulerStress, UnpinnedBacklogIsStolenByIdleCores)
+{
+    // Overcommit: 8 runnable threads on 4 cores; as threads finish,
+    // idle cores must steal the queued remainder so everything
+    // completes in ~2 batches, not serially on one core.
+    SystemConfig config;
+    config.seed = 71;
+    HeteroSystem sys(config);
+    std::vector<CpuApp *> apps;
+    for (int i = 0; i < 4; ++i) {
+        CpuAppParams params;
+        params.name = "app" + std::to_string(i);
+        params.threads = 2;
+        params.iterations = 3;
+        params.parallel_insts = 400'000;
+        params.serial_insts = 0;
+        CpuApp &app = sys.addCpuApp(params);
+        app.start();
+        apps.push_back(&app);
+    }
+    const bool all_done = sys.runUntilCondition(
+        [&apps] {
+            for (const CpuApp *app : apps)
+                if (!app->done())
+                    return false;
+            return true;
+        },
+        msToTicks(100));
+    EXPECT_TRUE(all_done);
+    // All four cores contributed (the stealer path ran).
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(sys.kernel().core(c).userTicks(), 0u) << c;
+}
+
+TEST(GpuStress, SlotWaitersServeInFifoOrder)
+{
+    // With a 1-slot limit, waves must translate strictly one at a
+    // time and every wave must make progress (no starvation).
+    SystemConfig config;
+    config.seed = 73;
+    config.gpu.max_outstanding = 1;
+    config.kernel.housekeeping_period = 0;
+    HeteroSystem sys(config);
+    GpuWorkloadParams workload;
+    workload.name = "fifo";
+    workload.wavefronts = 6;
+    workload.pages = 120;
+    workload.main_visits = 240;
+    workload.chunks_per_visit = 1;
+    workload.reuse_fraction = 0.0;
+    workload.chunk_duration = 200;
+    workload.fault_replay = usToTicks(2);
+    sys.launchGpu(workload, true, false);
+    const bool done = sys.runUntilCondition(
+        [&sys] { return sys.gpu().kernelsCompleted() > 0; },
+        msToTicks(400));
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sys.gpu().faultsIssued(), sys.gpu().faultsResolved());
+    EXPECT_LE(sys.gpu().outstanding(), 1u);
+}
+
+TEST(SignalStress, FloodIsFullyDelivered)
+{
+    SystemConfig config;
+    config.seed = 79;
+    HeteroSystem sys(config);
+    int delivered = 0;
+    for (int i = 0; i < 500; ++i)
+        sys.signalQueue().sendSignal([&](CpuCore &) { ++delivered; });
+    sys.runUntilCondition([&] { return delivered == 500; },
+                          msToTicks(100));
+    EXPECT_EQ(delivered, 500);
+    EXPECT_EQ(sys.signalQueue().signalsDelivered(), 500u);
+}
+
+TEST(MitigationStress, CombinedMitigationsWithQosAndMultiAccel)
+{
+    // The kitchen sink: every mitigation + QoS + three accelerators
+    // must still run to a clean, balanced state.
+    SystemConfig config;
+    config.seed = 83;
+    MitigationConfig all;
+    all.steer_to_single_core = true;
+    all.interrupt_coalescing = true;
+    all.monolithic_bottom_half = true;
+    config.applyMitigations(all);
+    config.enableQos(0.05);
+    HeteroSystem sys(config);
+    CpuAppParams app_params = parsec::params("swaptions");
+    app_params.iterations = 2;
+    CpuApp &app = sys.addCpuApp(app_params);
+    app.start();
+    sys.launchGpu(gpu_suite::params("sssp"), true, true);
+    sys.addAccelerator().launch(gpu_suite::params("spmv"), true, true);
+    sys.addAccelerator().launch(gpu_suite::params("bfs"), true, true);
+
+    EXPECT_TRUE(sys.runUntilCondition([&app] { return app.done(); },
+                                      msToTicks(500)));
+    sys.finalizeStats();
+    EXPECT_EQ(sys.kernel().addressSpaces().totalMapped(),
+              sys.kernel().frames().allocatedFrames());
+    // Steering + monolithic: all SSR interrupts on core 0.
+    for (int c = 1; c < 4; ++c)
+        EXPECT_EQ(sys.kernel().procInterrupts().irqCount("iommu_drv",
+                                                         c),
+                  0u)
+            << c;
+}
+
+} // namespace
+} // namespace hiss

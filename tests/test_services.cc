@@ -1,0 +1,171 @@
+/** @file Unit tests for system service implementations (Table I). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/kernel.h"
+#include "os/services.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+class ServicesTest : public ::testing::Test
+{
+  protected:
+    ServicesTest()
+        : ctx{events, stats, 9},
+          kernel(ctx, 2, CpuCoreParams{}, KernelParams{})
+    {
+    }
+
+    /** Run one request through the kernel's work queue. */
+    void
+    perform(SsrRequest request)
+    {
+        kernel.workQueue().push(
+            kernel.services().makeWorkItem(std::move(request)),
+            &kernel.core(0));
+        events.runUntil(events.now() + msToTicks(2));
+    }
+
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx;
+    Kernel kernel;
+};
+
+TEST_F(ServicesTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(serviceKindName(ServiceKind::Signal), "signal");
+    EXPECT_STREQ(serviceKindName(ServiceKind::PageFault), "page_fault");
+    EXPECT_STREQ(serviceKindName(ServiceKind::MemAlloc), "mem_alloc");
+    EXPECT_STREQ(serviceKindName(ServiceKind::FileRead), "file_read");
+    EXPECT_STREQ(serviceKindName(ServiceKind::PageMigration),
+                 "page_migration");
+}
+
+TEST_F(ServicesTest, CostOrderingMatchesComplexityTiers)
+{
+    // Table I: signals are Low, page faults Moderate-High, file
+    // system and migration High.
+    SystemServices &services = kernel.services();
+    EXPECT_LT(services.meanCost(ServiceKind::Signal),
+              services.meanCost(ServiceKind::PageFault));
+    EXPECT_LT(services.meanCost(ServiceKind::PageFault),
+              services.meanCost(ServiceKind::FileRead));
+    EXPECT_LT(services.meanCost(ServiceKind::FileRead),
+              services.meanCost(ServiceKind::PageMigration));
+}
+
+TEST_F(ServicesTest, WorkItemDurationWithinJitterBand)
+{
+    SystemServices &services = kernel.services();
+    const Tick mean = services.meanCost(ServiceKind::PageFault);
+    for (int i = 0; i < 50; ++i) {
+        SsrRequest request;
+        request.kind = ServiceKind::PageFault;
+        request.vpn = 1000 + static_cast<Vpn>(i);
+        const WorkItem item =
+            services.makeWorkItem(std::move(request));
+        EXPECT_GE(item.duration,
+                  static_cast<Tick>(static_cast<double>(mean) * 0.84));
+        EXPECT_LE(item.duration,
+                  static_cast<Tick>(static_cast<double>(mean) * 1.16));
+    }
+}
+
+TEST_F(ServicesTest, PageFaultMapsThePage)
+{
+    const Vpn vpn = 0x500;
+    EXPECT_FALSE(kernel.gpuPageTable().isMapped(vpn));
+    SsrRequest request;
+    request.kind = ServiceKind::PageFault;
+    request.vpn = vpn;
+    perform(std::move(request));
+    EXPECT_TRUE(kernel.gpuPageTable().isMapped(vpn));
+    EXPECT_EQ(kernel.services().serviced(ServiceKind::PageFault), 1u);
+    EXPECT_EQ(kernel.frames().allocatedFrames(), 1u);
+}
+
+TEST_F(ServicesTest, DuplicateFaultDoesNotDoubleMap)
+{
+    const Vpn vpn = 0x600;
+    for (int i = 0; i < 2; ++i) {
+        SsrRequest request;
+        request.kind = ServiceKind::PageFault;
+        request.vpn = vpn;
+        perform(std::move(request));
+    }
+    EXPECT_TRUE(kernel.gpuPageTable().isMapped(vpn));
+    EXPECT_EQ(kernel.frames().allocatedFrames(), 1u);
+    EXPECT_EQ(kernel.services().serviced(ServiceKind::PageFault), 2u);
+}
+
+TEST_F(ServicesTest, MigrationMovesToFreshFrame)
+{
+    const Vpn vpn = 0x700;
+    SsrRequest fault;
+    fault.kind = ServiceKind::PageFault;
+    fault.vpn = vpn;
+    perform(std::move(fault));
+    Pfn before = 0;
+    ASSERT_TRUE(kernel.gpuPageTable().translate(vpn, before));
+
+    SsrRequest migrate;
+    migrate.kind = ServiceKind::PageMigration;
+    migrate.vpn = vpn;
+    perform(std::move(migrate));
+    Pfn after = 0;
+    ASSERT_TRUE(kernel.gpuPageTable().translate(vpn, after));
+    EXPECT_NE(before, after);
+    // Old frame returned to the pool: net allocation unchanged.
+    EXPECT_EQ(kernel.frames().allocatedFrames(), 1u);
+}
+
+TEST_F(ServicesTest, CompletionCallbackRunsOnServicingCore)
+{
+    bool called = false;
+    SsrRequest request;
+    request.kind = ServiceKind::Signal;
+    request.issued_at = events.now();
+    request.on_service_complete = [&](CpuCore &core) {
+        called = true;
+        EXPECT_GE(core.index(), 0);
+    };
+    perform(std::move(request));
+    EXPECT_TRUE(called);
+    EXPECT_EQ(kernel.services().totalServiced(), 1u);
+}
+
+TEST_F(ServicesTest, JitterValidation)
+{
+    ServiceCostParams bad;
+    bad.jitter = 1.5;
+    AddressSpaceDirectory spaces;
+    FrameAllocator fa(16);
+    EXPECT_THROW(SystemServices(ctx, spaces, fa, bad), FatalError);
+}
+
+TEST_F(ServicesTest, AllKindsAreServiceable)
+{
+    const ServiceKind kinds[] = {
+        ServiceKind::Signal, ServiceKind::PageFault,
+        ServiceKind::MemAlloc, ServiceKind::FileRead,
+        ServiceKind::PageMigration,
+    };
+    Vpn vpn = 0x900;
+    for (const ServiceKind kind : kinds) {
+        SsrRequest request;
+        request.kind = kind;
+        request.vpn = vpn++;
+        perform(std::move(request));
+    }
+    EXPECT_EQ(kernel.services().totalServiced(), 5u);
+    for (const ServiceKind kind : kinds)
+        EXPECT_EQ(kernel.services().serviced(kind), 1u);
+}
+
+} // namespace
+} // namespace hiss

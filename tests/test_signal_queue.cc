@@ -1,0 +1,70 @@
+/** @file Unit tests for the GPU signal SSR path (S_SENDMSG analog). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+class SignalTest : public ::testing::Test
+{
+  protected:
+    SignalTest()
+    {
+        SystemConfig config;
+        config.seed = 61;
+        sys = std::make_unique<HeteroSystem>(config);
+    }
+
+    std::unique_ptr<HeteroSystem> sys;
+};
+
+TEST_F(SignalTest, SignalDeliveredThroughHandlerChain)
+{
+    int delivered = 0;
+    sys->signalQueue().sendSignal([&](CpuCore &) { ++delivered; });
+    sys->runUntil(msToTicks(2));
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(sys->signalQueue().signalsSent(), 1u);
+    EXPECT_EQ(sys->signalQueue().signalsDelivered(), 1u);
+    // The signal travelled via its own driver, not the IOMMU.
+    EXPECT_EQ(sys->iommu().msisRaised(), 0u);
+    EXPECT_GT(sys->kernel().procInterrupts().totalFor("gpu_signal_drv"),
+              0u);
+}
+
+TEST_F(SignalTest, ManySignalsAllDelivered)
+{
+    int delivered = 0;
+    for (int i = 0; i < 20; ++i)
+        sys->signalQueue().sendSignal([&](CpuCore &) { ++delivered; });
+    sys->runUntil(msToTicks(5));
+    EXPECT_EQ(delivered, 20);
+    EXPECT_EQ(sys->kernel().services().serviced(ServiceKind::Signal),
+              20u);
+}
+
+TEST_F(SignalTest, SignalsBatchUnderBackToBackSubmission)
+{
+    for (int i = 0; i < 10; ++i)
+        sys->signalQueue().sendSignal(nullptr);
+    sys->runUntil(msToTicks(5));
+    EXPECT_EQ(sys->signalQueue().signalsDelivered(), 10u);
+    // Back-to-back signals share interrupts (irq_inflight batching).
+    EXPECT_LT(sys->kernel().procInterrupts().totalFor("gpu_signal_drv"),
+              10u);
+}
+
+TEST_F(SignalTest, SignalCostsLessThanPageFault)
+{
+    SystemServices &services = sys->kernel().services();
+    EXPECT_LT(services.meanCost(ServiceKind::Signal),
+              services.meanCost(ServiceKind::PageFault));
+}
+
+} // namespace
+} // namespace hiss

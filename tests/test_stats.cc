@@ -1,0 +1,159 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.h"
+#include "sim/stats.h"
+
+namespace hiss {
+namespace {
+
+TEST(Counter, IncrementsAndResets)
+{
+    StatRegistry reg;
+    Counter &c = reg.addCounter("foo.count", "a counter");
+    EXPECT_EQ(c.count(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.count(), 6u);
+    EXPECT_DOUBLE_EQ(c.value(), 6.0);
+    c.reset();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Scalar, SetAndAdd)
+{
+    StatRegistry reg;
+    Scalar &s = reg.addScalar("foo.val", "");
+    s.set(2.5);
+    s.add(1.5);
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Distribution, WelfordMomentsMatchDirectComputation)
+{
+    StatRegistry reg;
+    Distribution &d = reg.addDistribution("lat", "");
+    const double samples[] = {3.0, 7.0, 7.0, 19.0, 24.0, 1.5};
+    double sum = 0.0;
+    for (const double v : samples) {
+        d.sample(v);
+        sum += v;
+    }
+    const double n = 6.0;
+    const double mean = sum / n;
+    double sq = 0.0;
+    for (const double v : samples)
+        sq += (v - mean) * (v - mean);
+    const double stddev = std::sqrt(sq / (n - 1.0));
+
+    EXPECT_EQ(d.count(), 6u);
+    EXPECT_NEAR(d.mean(), mean, 1e-12);
+    EXPECT_NEAR(d.stddev(), stddev, 1e-12);
+    EXPECT_DOUBLE_EQ(d.min(), 1.5);
+    EXPECT_DOUBLE_EQ(d.max(), 24.0);
+    EXPECT_DOUBLE_EQ(d.total(), sum);
+}
+
+TEST(Distribution, EmptyAndSingleSample)
+{
+    StatRegistry reg;
+    Distribution &d = reg.addDistribution("d", "");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 42.0);
+    EXPECT_DOUBLE_EQ(d.max(), 42.0);
+}
+
+TEST(Formula, EvaluatesOnDemand)
+{
+    StatRegistry reg;
+    Counter &c = reg.addCounter("hits", "");
+    Counter &t = reg.addCounter("total", "");
+    reg.addFormula("rate", "hit rate", [&] {
+        return t.count() == 0
+            ? 0.0
+            : static_cast<double>(c.count())
+                / static_cast<double>(t.count());
+    });
+    EXPECT_DOUBLE_EQ(reg.valueOf("rate"), 0.0);
+    c.inc(3);
+    t.inc(4);
+    EXPECT_DOUBLE_EQ(reg.valueOf("rate"), 0.75);
+}
+
+TEST(StatRegistry, FindAndValueOf)
+{
+    StatRegistry reg;
+    reg.addCounter("a", "");
+    EXPECT_NE(reg.find("a"), nullptr);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+    EXPECT_THROW(reg.valueOf("missing"), FatalError);
+}
+
+TEST(StatRegistry, DuplicateNameIsFatal)
+{
+    StatRegistry reg;
+    reg.addCounter("dup", "");
+    EXPECT_THROW(reg.addScalar("dup", ""), FatalError);
+}
+
+TEST(StatRegistry, ResetAllResetsEverything)
+{
+    StatRegistry reg;
+    Counter &c = reg.addCounter("c", "");
+    Distribution &d = reg.addDistribution("d", "");
+    c.inc(10);
+    d.sample(1.0);
+    reg.resetAll();
+    EXPECT_EQ(c.count(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatRegistry, DumpContainsNamesSorted)
+{
+    StatRegistry reg;
+    reg.addCounter("z.last", "the z");
+    reg.addCounter("a.first", "the a");
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    const auto a_pos = out.find("a.first");
+    const auto z_pos = out.find("z.last");
+    ASSERT_NE(a_pos, std::string::npos);
+    ASSERT_NE(z_pos, std::string::npos);
+    EXPECT_LT(a_pos, z_pos);
+    EXPECT_NE(out.find("# the a"), std::string::npos);
+}
+
+TEST(StatRegistry, CsvDumpFormat)
+{
+    StatRegistry reg;
+    Counter &c = reg.addCounter("x", "desc");
+    c.inc(2);
+    std::ostringstream os;
+    reg.dumpCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name,value,description"), std::string::npos);
+    EXPECT_NE(out.find("x,2,desc"), std::string::npos);
+}
+
+TEST(StatRegistry, SizeCounts)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.size(), 0u);
+    reg.addCounter("a", "");
+    reg.addScalar("b", "");
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+} // namespace
+} // namespace hiss

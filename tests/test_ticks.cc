@@ -1,0 +1,75 @@
+/** @file Unit tests for the time base and Clock conversions. */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.h"
+
+namespace hiss {
+namespace {
+
+TEST(Ticks, UnitConstantsAreConsistent)
+{
+    EXPECT_EQ(kTicksPerUs, 1000u);
+    EXPECT_EQ(kTicksPerMs, 1000u * kTicksPerUs);
+    EXPECT_EQ(kTicksPerSec, 1000u * kTicksPerMs);
+}
+
+TEST(Ticks, UsConversionsRoundTrip)
+{
+    EXPECT_EQ(usToTicks(1.0), 1000u);
+    EXPECT_EQ(usToTicks(13.0), 13000u);
+    EXPECT_DOUBLE_EQ(ticksToUs(2500), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(42.0)), 42.0);
+}
+
+TEST(Ticks, MsAndSecConversions)
+{
+    EXPECT_EQ(msToTicks(2.0), 2'000'000u);
+    EXPECT_DOUBLE_EQ(ticksToMs(1'500'000), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(kTicksPerSec), 1.0);
+}
+
+TEST(Clock, CyclesToTicksRoundsUp)
+{
+    const Clock clk(3.7); // 3.7 cycles per ns.
+    // 37 cycles = exactly 10 ns.
+    EXPECT_EQ(clk.cyclesToTicks(37.0), 10u);
+    // 38 cycles = 10.27 ns -> 11 ticks.
+    EXPECT_EQ(clk.cyclesToTicks(38.0), 11u);
+}
+
+TEST(Clock, ZeroAndTinyCycleCounts)
+{
+    const Clock clk(3.7);
+    EXPECT_EQ(clk.cyclesToTicks(0.0), 0u);
+    // Sub-tick work still takes at least one tick.
+    EXPECT_EQ(clk.cyclesToTicks(0.5), 1u);
+}
+
+TEST(Clock, TicksToCyclesIsLinear)
+{
+    const Clock clk(2.0);
+    EXPECT_DOUBLE_EQ(clk.ticksToCycles(100), 200.0);
+    EXPECT_DOUBLE_EQ(clk.ticksToCycles(0), 0.0);
+}
+
+TEST(Clock, CycleNsMatchesFrequency)
+{
+    const Clock gpu(0.72); // The paper's 720 MHz GPU.
+    EXPECT_NEAR(gpu.cycleNs(), 1.3888, 1e-3);
+    EXPECT_DOUBLE_EQ(gpu.freqGhz(), 0.72);
+}
+
+TEST(Clock, RoundTripApproximation)
+{
+    const Clock clk(3.7);
+    for (double cycles : {1.0, 100.0, 12345.0}) {
+        const Tick t = clk.cyclesToTicks(cycles);
+        // Rounding up may add at most one cycle's worth of ticks.
+        EXPECT_GE(clk.ticksToCycles(t), cycles);
+        EXPECT_LE(clk.ticksToCycles(t), cycles + 2.0 * clk.freqGhz());
+    }
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,112 @@
+/** @file Tests for the PARSEC and GPU workload definition tables. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.h"
+#include "workloads/gpu_suite.h"
+#include "workloads/parsec.h"
+
+namespace hiss {
+namespace {
+
+TEST(ParsecTable, HasAllThirteenBenchmarks)
+{
+    const auto &names = parsec::benchmarkNames();
+    EXPECT_EQ(names.size(), 13u);
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 13u);
+    // Spot-check the paper's named benchmarks.
+    EXPECT_TRUE(unique.count("fluidanimate"));
+    EXPECT_TRUE(unique.count("raytrace"));
+    EXPECT_TRUE(unique.count("streamcluster"));
+    EXPECT_TRUE(unique.count("x264"));
+}
+
+TEST(ParsecTable, AllParamsValid)
+{
+    for (const auto &params : parsec::allBenchmarks()) {
+        EXPECT_EQ(params.threads, 4) << params.name;
+        EXPECT_GT(params.iterations, 0u) << params.name;
+        EXPECT_GT(params.parallel_insts, 0u) << params.name;
+        EXPECT_GT(params.base_cpi, 0.0) << params.name;
+        EXPECT_LE(params.mem.hot_set_bytes,
+                  params.mem.working_set_bytes)
+            << params.name;
+        EXPECT_GE(params.mem.hot_fraction, 0.0) << params.name;
+        EXPECT_LE(params.mem.hot_fraction, 1.0) << params.name;
+        EXPECT_GT(params.branch.static_branches, 0u) << params.name;
+    }
+}
+
+TEST(ParsecTable, UnknownNameThrows)
+{
+    EXPECT_THROW(parsec::params("quake3"), FatalError);
+}
+
+TEST(ParsecTable, ProfilesEncodePaperCharacterizations)
+{
+    // raytrace is serial-dominated (Section IV-A).
+    const CpuAppParams raytrace = parsec::params("raytrace");
+    EXPECT_GT(raytrace.serial_insts, raytrace.parallel_insts);
+    // streamcluster is fully parallel.
+    const CpuAppParams sc = parsec::params("streamcluster");
+    EXPECT_LT(sc.serial_insts, sc.parallel_insts / 10);
+    // fluidanimate's hot set nearly fills the 16 KiB L1D — the
+    // source of its pollution sensitivity.
+    const CpuAppParams fluid = parsec::params("fluidanimate");
+    EXPECT_GE(fluid.mem.hot_set_bytes, 14u * 1024);
+    EXPECT_GE(fluid.mem.hot_fraction, 0.85);
+    // canneal has the largest working set.
+    const CpuAppParams canneal = parsec::params("canneal");
+    for (const auto &other : parsec::allBenchmarks())
+        EXPECT_GE(canneal.mem.working_set_bytes,
+                  other.mem.working_set_bytes)
+            << other.name;
+}
+
+TEST(GpuSuiteTable, HasAllSixWorkloads)
+{
+    const auto &names = gpu_suite::workloadNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names.front(), "bfs");
+    EXPECT_EQ(names.back(), "ubench");
+}
+
+TEST(GpuSuiteTable, AllParamsValid)
+{
+    for (const auto &params : gpu_suite::allWorkloads()) {
+        EXPECT_GT(params.wavefronts, 0) << params.name;
+        EXPECT_GT(params.main_visits, 0u) << params.name;
+        EXPECT_GE(params.reuse_fraction, 0.0) << params.name;
+        EXPECT_LE(params.reuse_fraction, 1.0) << params.name;
+        EXPECT_GT(params.chunk_duration, 0u) << params.name;
+        if (!params.unbounded_pages) {
+            EXPECT_GT(params.pages, 0u) << params.name;
+        }
+    }
+}
+
+TEST(GpuSuiteTable, UnknownNameThrows)
+{
+    EXPECT_THROW(gpu_suite::params("nbody"), FatalError);
+}
+
+TEST(GpuSuiteTable, ProfilesEncodePaperCharacterizations)
+{
+    // bfs's faults cluster early (preload pass).
+    const GpuWorkloadParams bfs = gpu_suite::params("bfs");
+    EXPECT_GT(bfs.preload_fraction, 0.5);
+    // ubench streams unboundedly, faulting on every access.
+    const GpuWorkloadParams ubench = gpu_suite::params("ubench");
+    EXPECT_TRUE(ubench.unbounded_pages);
+    EXPECT_DOUBLE_EQ(ubench.reuse_fraction, 0.0);
+    EXPECT_EQ(ubench.chunks_per_visit, 1u);
+    // sssp and bpt are latency-sensitive: few wavefronts.
+    EXPECT_LE(gpu_suite::params("sssp").wavefronts, 4);
+    EXPECT_LE(gpu_suite::params("bpt").wavefronts, 4);
+}
+
+} // namespace
+} // namespace hiss

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * hiss_sim — command-line driver for the HISS simulator.
+ *
+ * Runs an arbitrary CPU-app / GPU-workload pairing under any
+ * combination of mitigations and QoS settings, and reports runtimes,
+ * interference metrics, statistics dumps, a /proc/interrupts mirror,
+ * and (optionally) a chrome://tracing timeline.
+ *
+ * Examples:
+ *   hiss_sim --cpu x264 --gpu ubench
+ *   hiss_sim --cpu facesim --gpu sssp --qos 0.01
+ *   hiss_sim --gpu ubench --steer 0 --coalesce 13 --duration 20
+ *   hiss_sim --cpu x264 --gpu sssp --trace timeline.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hiss.h"
+#include "sim/logging.h"
+#include "sim/tracing.h"
+
+namespace {
+
+using namespace hiss;
+
+struct Options
+{
+    std::vector<std::string> cpu_apps;
+    std::string gpu_app;
+    bool demand_paging = true;
+    bool loop_gpu = false;
+    int extra_accelerators = 0;
+    bool steer = false;
+    int steer_core = 0;
+    double coalesce_us = -1.0;
+    bool monolithic = false;
+    double qos_threshold = 0.0;
+    ThrottlePolicy qos_policy = ThrottlePolicy::ExponentialBackoff;
+    double duration_ms = 0.0; // 0 = until CPU app completes.
+    std::uint64_t seed = 1;
+    std::string stats_path;
+    std::string csv_path;
+    std::string trace_path;
+    bool proc_interrupts = false;
+    bool describe = false;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "hiss_sim — heterogeneous-SoC SSR interference simulator\n"
+        "\n"
+        "Workloads:\n"
+        "  --cpu app[,app...]   PARSEC-like CPU application(s)\n"
+        "  --gpu workload       GPU workload (bfs bpt spmv sssp\n"
+        "                       xsbench ubench)\n"
+        "  --no-demand-paging   pinned GPU memory: no SSRs\n"
+        "  --loop-gpu           restart the GPU kernel until the end\n"
+        "  --accelerators N     N-1 extra accelerators, same workload\n"
+        "\n"
+        "Mitigations (paper Section V):\n"
+        "  --steer [core]       MSI steering to a single core\n"
+        "  --coalesce [us]      interrupt coalescing (default 13 us)\n"
+        "  --monolithic         monolithic bottom-half handler\n"
+        "\n"
+        "QoS (paper Section VI):\n"
+        "  --qos threshold      cap SSR CPU-time fraction (e.g. 0.01)\n"
+        "  --qos-policy P       backoff (paper) or bucket\n"
+        "\n"
+        "Run control and output:\n"
+        "  --duration ms        fixed window (default: CPU app end)\n"
+        "  --seed N             experiment seed (default 1)\n"
+        "  --stats FILE|-       dump all statistics\n"
+        "  --csv FILE           dump statistics as CSV\n"
+        "  --trace FILE.json    chrome://tracing timeline\n"
+        "  --proc-interrupts    print the /proc/interrupts mirror\n"
+        "  --describe           print the system configuration\n"
+        "  --list               list available workloads\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            return nullptr;
+        return argv[++i];
+    };
+    auto optional_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc || argv[i + 1][0] == '-')
+            return nullptr;
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return false;
+        } else if (arg == "--cpu") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--cpu needs a value");
+            std::string list = v;
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                opt.cpu_apps.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--gpu") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--gpu needs a value");
+            opt.gpu_app = v;
+        } else if (arg == "--no-demand-paging") {
+            opt.demand_paging = false;
+        } else if (arg == "--loop-gpu") {
+            opt.loop_gpu = true;
+        } else if (arg == "--accelerators") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--accelerators needs a value");
+            opt.extra_accelerators = std::atoi(v) - 1;
+            if (opt.extra_accelerators < 0)
+                fatal("--accelerators must be >= 1");
+        } else if (arg == "--steer") {
+            opt.steer = true;
+            if (const char *v = optional_value(i))
+                opt.steer_core = std::atoi(v);
+        } else if (arg == "--coalesce") {
+            opt.coalesce_us = 13.0;
+            if (const char *v = optional_value(i))
+                opt.coalesce_us = std::atof(v);
+        } else if (arg == "--monolithic") {
+            opt.monolithic = true;
+        } else if (arg == "--qos") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--qos needs a threshold");
+            opt.qos_threshold = std::atof(v);
+        } else if (arg == "--qos-policy") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--qos-policy needs a value");
+            if (std::strcmp(v, "backoff") == 0)
+                opt.qos_policy = ThrottlePolicy::ExponentialBackoff;
+            else if (std::strcmp(v, "bucket") == 0)
+                opt.qos_policy = ThrottlePolicy::TokenBucket;
+            else
+                fatal("unknown qos policy: %s", v);
+        } else if (arg == "--duration") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--duration needs a value");
+            opt.duration_ms = std::atof(v);
+        } else if (arg == "--seed") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--seed needs a value");
+            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--stats") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--stats needs a path");
+            opt.stats_path = v;
+        } else if (arg == "--csv") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--csv needs a path");
+            opt.csv_path = v;
+        } else if (arg == "--trace") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--trace needs a path");
+            opt.trace_path = v;
+        } else if (arg == "--proc-interrupts") {
+            opt.proc_interrupts = true;
+        } else if (arg == "--describe") {
+            opt.describe = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else {
+            fatal("unknown argument: %s (try --help)", arg.c_str());
+        }
+    }
+    return true;
+}
+
+int
+run(const Options &opt)
+{
+    if (opt.list) {
+        std::printf("CPU applications:");
+        for (const auto &name : parsec::benchmarkNames())
+            std::printf(" %s", name.c_str());
+        std::printf("\nGPU workloads:");
+        for (const auto &name : gpu_suite::workloadNames())
+            std::printf(" %s", name.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    SystemConfig config;
+    config.seed = opt.seed;
+    MitigationConfig mitigation;
+    mitigation.steer_to_single_core = opt.steer;
+    mitigation.steer_core = opt.steer_core;
+    mitigation.interrupt_coalescing = opt.coalesce_us >= 0.0;
+    if (opt.coalesce_us > 0.0)
+        mitigation.coalesce_window = usToTicks(opt.coalesce_us);
+    mitigation.monolithic_bottom_half = opt.monolithic;
+    config.applyMitigations(mitigation);
+    if (opt.qos_threshold > 0.0) {
+        config.enableQos(opt.qos_threshold);
+        config.kernel.qos.policy = opt.qos_policy;
+    }
+
+    if (opt.describe) {
+        std::printf("%s", config.describe().c_str());
+        return 0;
+    }
+    if (opt.cpu_apps.empty() && opt.gpu_app.empty())
+        fatal("nothing to run: give --cpu and/or --gpu (see --help)");
+
+    HeteroSystem sys(config);
+    std::unique_ptr<TraceWriter> trace;
+    if (!opt.trace_path.empty()) {
+        trace = std::make_unique<TraceWriter>(opt.trace_path);
+        sys.setTraceWriter(trace.get());
+    }
+
+    std::vector<CpuApp *> apps;
+    for (const auto &name : opt.cpu_apps) {
+        CpuApp &app = sys.addCpuApp(parsec::params(name));
+        app.start();
+        apps.push_back(&app);
+    }
+    if (!opt.gpu_app.empty()) {
+        const GpuWorkloadParams workload = gpu_suite::params(opt.gpu_app);
+        sys.launchGpu(workload, opt.demand_paging, opt.loop_gpu);
+        for (int a = 0; a < opt.extra_accelerators; ++a)
+            sys.addAccelerator().launch(workload, opt.demand_paging,
+                                        opt.loop_gpu);
+    }
+
+    const Tick cap = opt.duration_ms > 0.0
+        ? msToTicks(opt.duration_ms)
+        : msToTicks(apps.empty() ? 50.0 : 1000.0);
+    if (apps.empty()) {
+        sys.runUntil(cap);
+    } else {
+        sys.runUntilCondition(
+            [&apps] {
+                for (const CpuApp *app : apps)
+                    if (!app->done())
+                        return false;
+                return true;
+            },
+            cap);
+    }
+    sys.finalizeStats();
+
+    // Report.
+    std::printf("simulated %.3f ms (seed %llu)\n", ticksToMs(sys.now()),
+                static_cast<unsigned long long>(opt.seed));
+    for (const CpuApp *app : apps) {
+        if (app->done())
+            std::printf("  %-16s completed in %.3f ms\n",
+                        app->params().name.c_str(),
+                        ticksToMs(app->completionTime()));
+        else
+            std::printf("  %-16s NOT finished (%llu iterations)\n",
+                        app->params().name.c_str(),
+                        static_cast<unsigned long long>(
+                            app->iterationsDone()));
+    }
+    if (!opt.gpu_app.empty()) {
+        const Gpu &gpu = sys.gpu();
+        std::printf("  %-16s kernels=%llu faults=%llu rate=%.0f/s",
+                    opt.gpu_app.c_str(),
+                    static_cast<unsigned long long>(
+                        gpu.kernelsCompleted()),
+                    static_cast<unsigned long long>(
+                        gpu.faultsResolved()),
+                    gpu.ssrRate());
+        if (gpu.kernelsCompleted() > 0)
+            std::printf(" first_kernel=%.3f ms",
+                        ticksToMs(gpu.firstCompletionTime()));
+        std::printf("\n");
+    }
+    Tick ssr = 0;
+    double cc6 = 0.0;
+    for (int c = 0; c < sys.kernel().numCores(); ++c) {
+        ssr += sys.kernel().core(c).ssrTicks();
+        cc6 += static_cast<double>(sys.kernel().core(c).cc6Ticks());
+    }
+    const double denom = static_cast<double>(sys.now())
+        * sys.kernel().numCores();
+    std::printf("  ssr_cpu=%.1f%%  cc6=%.1f%%  ipis=%llu\n",
+                100.0 * static_cast<double>(ssr) / denom,
+                100.0 * cc6 / denom,
+                static_cast<unsigned long long>(
+                    sys.kernel().scheduler().ipisSent()));
+
+    if (opt.proc_interrupts) {
+        std::printf("\n/proc/interrupts:\n");
+        sys.kernel().procInterrupts().dump(std::cout);
+    }
+    if (opt.stats_path == "-") {
+        sys.stats().dump(std::cout);
+    } else if (!opt.stats_path.empty()) {
+        std::ofstream out(opt.stats_path);
+        if (!out.is_open())
+            fatal("cannot open %s", opt.stats_path.c_str());
+        sys.stats().dump(out);
+    }
+    if (!opt.csv_path.empty()) {
+        std::ofstream out(opt.csv_path);
+        if (!out.is_open())
+            fatal("cannot open %s", opt.csv_path.c_str());
+        sys.stats().dumpCsv(out);
+    }
+    if (trace != nullptr)
+        std::printf("trace: %s (%llu events)\n", opt.trace_path.c_str(),
+                    static_cast<unsigned long long>(
+                        trace->eventsWritten()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        if (!parseArgs(argc, argv, opt))
+            return 0;
+        return run(opt);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "hiss_sim: %s\n", e.what());
+        return 1;
+    }
+}
