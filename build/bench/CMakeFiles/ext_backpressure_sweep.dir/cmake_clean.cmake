@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_backpressure_sweep.dir/ext_backpressure_sweep.cc.o"
+  "CMakeFiles/ext_backpressure_sweep.dir/ext_backpressure_sweep.cc.o.d"
+  "ext_backpressure_sweep"
+  "ext_backpressure_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_backpressure_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coalesce_sweep.dir/ext_coalesce_sweep.cc.o"
+  "CMakeFiles/ext_coalesce_sweep.dir/ext_coalesce_sweep.cc.o.d"
+  "ext_coalesce_sweep"
+  "ext_coalesce_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coalesce_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

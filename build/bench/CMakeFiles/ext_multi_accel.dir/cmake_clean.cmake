@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_accel.dir/ext_multi_accel.cc.o"
+  "CMakeFiles/ext_multi_accel.dir/ext_multi_accel.cc.o.d"
+  "ext_multi_accel"
+  "ext_multi_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

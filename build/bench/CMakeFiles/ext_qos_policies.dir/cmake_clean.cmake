@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qos_policies.dir/ext_qos_policies.cc.o"
+  "CMakeFiles/ext_qos_policies.dir/ext_qos_policies.cc.o.d"
+  "ext_qos_policies"
+  "ext_qos_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qos_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_cpu_perf.dir/fig3a_cpu_perf.cc.o"
+  "CMakeFiles/fig3a_cpu_perf.dir/fig3a_cpu_perf.cc.o.d"
+  "fig3a_cpu_perf"
+  "fig3a_cpu_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_cpu_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

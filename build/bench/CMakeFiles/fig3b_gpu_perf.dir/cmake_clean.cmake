@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_gpu_perf.dir/fig3b_gpu_perf.cc.o"
+  "CMakeFiles/fig3b_gpu_perf.dir/fig3b_gpu_perf.cc.o.d"
+  "fig3b_gpu_perf"
+  "fig3b_gpu_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_gpu_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

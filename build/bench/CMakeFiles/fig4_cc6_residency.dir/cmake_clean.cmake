@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cc6_residency.dir/fig4_cc6_residency.cc.o"
+  "CMakeFiles/fig4_cc6_residency.dir/fig4_cc6_residency.cc.o.d"
+  "fig4_cc6_residency"
+  "fig4_cc6_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cc6_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

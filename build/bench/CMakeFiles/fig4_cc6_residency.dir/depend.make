@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_cc6_residency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_uarch_pollution.dir/fig5_uarch_pollution.cc.o"
+  "CMakeFiles/fig5_uarch_pollution.dir/fig5_uarch_pollution.cc.o.d"
+  "fig5_uarch_pollution"
+  "fig5_uarch_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_uarch_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mitigations.dir/fig6_mitigations.cc.o"
+  "CMakeFiles/fig6_mitigations.dir/fig6_mitigations.cc.o.d"
+  "fig6_mitigations"
+  "fig6_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

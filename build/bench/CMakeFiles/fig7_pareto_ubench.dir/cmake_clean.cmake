@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pareto_ubench.dir/fig7_pareto_ubench.cc.o"
+  "CMakeFiles/fig7_pareto_ubench.dir/fig7_pareto_ubench.cc.o.d"
+  "fig7_pareto_ubench"
+  "fig7_pareto_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pareto_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pareto_apps.dir/fig8_pareto_apps.cc.o"
+  "CMakeFiles/fig8_pareto_apps.dir/fig8_pareto_apps.cc.o.d"
+  "fig8_pareto_apps"
+  "fig8_pareto_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pareto_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

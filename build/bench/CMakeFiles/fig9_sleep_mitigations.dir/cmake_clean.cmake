@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sleep_mitigations.dir/fig9_sleep_mitigations.cc.o"
+  "CMakeFiles/fig9_sleep_mitigations.dir/fig9_sleep_mitigations.cc.o.d"
+  "fig9_sleep_mitigations"
+  "fig9_sleep_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sleep_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4c_interrupt_analysis.dir/sec4c_interrupt_analysis.cc.o"
+  "CMakeFiles/sec4c_interrupt_analysis.dir/sec4c_interrupt_analysis.cc.o.d"
+  "sec4c_interrupt_analysis"
+  "sec4c_interrupt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4c_interrupt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

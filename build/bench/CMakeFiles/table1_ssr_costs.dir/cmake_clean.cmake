@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ssr_costs.dir/table1_ssr_costs.cc.o"
+  "CMakeFiles/table1_ssr_costs.dir/table1_ssr_costs.cc.o.d"
+  "table1_ssr_costs"
+  "table1_ssr_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ssr_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_sweep.dir/interference_sweep.cpp.o"
+  "CMakeFiles/interference_sweep.dir/interference_sweep.cpp.o.d"
+  "interference_sweep"
+  "interference_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_explorer.dir/mitigation_explorer.cpp.o"
+  "CMakeFiles/mitigation_explorer.dir/mitigation_explorer.cpp.o.d"
+  "mitigation_explorer"
+  "mitigation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

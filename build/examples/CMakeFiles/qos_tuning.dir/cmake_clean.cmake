@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_tuning.dir/qos_tuning.cpp.o"
+  "CMakeFiles/qos_tuning.dir/qos_tuning.cpp.o.d"
+  "qos_tuning"
+  "qos_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

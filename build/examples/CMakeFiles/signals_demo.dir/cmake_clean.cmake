@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signals_demo.dir/signals_demo.cpp.o"
+  "CMakeFiles/signals_demo.dir/signals_demo.cpp.o.d"
+  "signals_demo"
+  "signals_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signals_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

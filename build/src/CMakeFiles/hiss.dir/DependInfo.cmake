@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/hiss.dir/core/config.cc.o" "gcc" "src/CMakeFiles/hiss.dir/core/config.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/hiss.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/hiss.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/hiss.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/hiss.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/hiss.dir/core/system.cc.o" "gcc" "src/CMakeFiles/hiss.dir/core/system.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/hiss.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/hiss.dir/cpu/core.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/hiss.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/hiss.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/signal_queue.cc" "src/CMakeFiles/hiss.dir/gpu/signal_queue.cc.o" "gcc" "src/CMakeFiles/hiss.dir/gpu/signal_queue.cc.o.d"
+  "/root/repo/src/iommu/iommu.cc" "src/CMakeFiles/hiss.dir/iommu/iommu.cc.o" "gcc" "src/CMakeFiles/hiss.dir/iommu/iommu.cc.o.d"
+  "/root/repo/src/mem/address_space_dir.cc" "src/CMakeFiles/hiss.dir/mem/address_space_dir.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/address_space_dir.cc.o.d"
+  "/root/repo/src/mem/address_stream.cc" "src/CMakeFiles/hiss.dir/mem/address_stream.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/address_stream.cc.o.d"
+  "/root/repo/src/mem/branch_predictor.cc" "src/CMakeFiles/hiss.dir/mem/branch_predictor.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/branch_predictor.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/hiss.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/frame_allocator.cc" "src/CMakeFiles/hiss.dir/mem/frame_allocator.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/hiss.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/hiss.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/hiss.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/proc_stats.cc" "src/CMakeFiles/hiss.dir/os/proc_stats.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/proc_stats.cc.o.d"
+  "/root/repo/src/os/qos_governor.cc" "src/CMakeFiles/hiss.dir/os/qos_governor.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/qos_governor.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/hiss.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/services.cc" "src/CMakeFiles/hiss.dir/os/services.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/services.cc.o.d"
+  "/root/repo/src/os/ssr_driver.cc" "src/CMakeFiles/hiss.dir/os/ssr_driver.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/ssr_driver.cc.o.d"
+  "/root/repo/src/os/thread.cc" "src/CMakeFiles/hiss.dir/os/thread.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/thread.cc.o.d"
+  "/root/repo/src/os/workqueue.cc" "src/CMakeFiles/hiss.dir/os/workqueue.cc.o" "gcc" "src/CMakeFiles/hiss.dir/os/workqueue.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/hiss.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/hiss.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/hiss.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/hiss.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/hiss.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/tracing.cc" "src/CMakeFiles/hiss.dir/sim/tracing.cc.o" "gcc" "src/CMakeFiles/hiss.dir/sim/tracing.cc.o.d"
+  "/root/repo/src/workloads/cpu_app.cc" "src/CMakeFiles/hiss.dir/workloads/cpu_app.cc.o" "gcc" "src/CMakeFiles/hiss.dir/workloads/cpu_app.cc.o.d"
+  "/root/repo/src/workloads/gpu_suite.cc" "src/CMakeFiles/hiss.dir/workloads/gpu_suite.cc.o" "gcc" "src/CMakeFiles/hiss.dir/workloads/gpu_suite.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "src/CMakeFiles/hiss.dir/workloads/parsec.cc.o" "gcc" "src/CMakeFiles/hiss.dir/workloads/parsec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hiss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_stream.cc" "tests/CMakeFiles/hiss_tests.dir/test_address_stream.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_address_stream.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/hiss_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/hiss_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/hiss_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/hiss_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_cpu_app.cc" "tests/CMakeFiles/hiss_tests.dir/test_cpu_app.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_cpu_app.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/hiss_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/hiss_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/hiss_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/hiss_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/hiss_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/hiss_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_iommu.cc" "tests/CMakeFiles/hiss_tests.dir/test_iommu.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_iommu.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/hiss_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/hiss_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/hiss_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/hiss_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_param_sweeps.cc" "tests/CMakeFiles/hiss_tests.dir/test_param_sweeps.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_param_sweeps.cc.o.d"
+  "/root/repo/tests/test_proc_stats.cc" "tests/CMakeFiles/hiss_tests.dir/test_proc_stats.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_proc_stats.cc.o.d"
+  "/root/repo/tests/test_qos_governor.cc" "tests/CMakeFiles/hiss_tests.dir/test_qos_governor.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_qos_governor.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/hiss_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/hiss_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/hiss_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_services.cc" "tests/CMakeFiles/hiss_tests.dir/test_services.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_services.cc.o.d"
+  "/root/repo/tests/test_signal_queue.cc" "tests/CMakeFiles/hiss_tests.dir/test_signal_queue.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_signal_queue.cc.o.d"
+  "/root/repo/tests/test_ssr_driver.cc" "tests/CMakeFiles/hiss_tests.dir/test_ssr_driver.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_ssr_driver.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hiss_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/hiss_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_ticks.cc" "tests/CMakeFiles/hiss_tests.dir/test_ticks.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_ticks.cc.o.d"
+  "/root/repo/tests/test_tracing.cc" "tests/CMakeFiles/hiss_tests.dir/test_tracing.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_tracing.cc.o.d"
+  "/root/repo/tests/test_workload_tables.cc" "tests/CMakeFiles/hiss_tests.dir/test_workload_tables.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_workload_tables.cc.o.d"
+  "/root/repo/tests/test_workqueue.cc" "tests/CMakeFiles/hiss_tests.dir/test_workqueue.cc.o" "gcc" "tests/CMakeFiles/hiss_tests.dir/test_workqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hiss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiss_sim.dir/hiss_sim.cc.o"
+  "CMakeFiles/hiss_sim.dir/hiss_sim.cc.o.d"
+  "hiss_sim"
+  "hiss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
