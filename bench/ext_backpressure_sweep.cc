@@ -12,53 +12,51 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-
-namespace {
-
-using namespace hiss;
-
-double
-ubenchRate(std::uint32_t limit, double qos_threshold, int reps)
-{
-    SystemConfig base;
-    base.gpu.max_outstanding = limit;
-    if (qos_threshold > 0.0)
-        base.enableQos(qos_threshold);
-    double sum = 0.0;
-    for (int i = 0; i < reps; ++i) {
-        SystemConfig config = base;
-        config.seed = 1 + static_cast<std::uint64_t>(i);
-        HeteroSystem sys(config);
-        sys.launchGpu(gpu_suite::params("ubench"), true, true);
-        sys.runUntil(msToTicks(25));
-        sum += static_cast<double>(sys.gpu().faultsResolved())
-            / ticksToSec(sys.now());
-    }
-    return sum / reps;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace hiss;
     const int reps = bench::repsFromArgs(argc, argv, 2);
+    const int jobs = bench::jobsFromArgs(argc, argv);
     bench::banner(
         "Ablation: outstanding-SSR hardware limit sweep",
         "Section VI: the limit exists on every accelerator and is "
         "the backpressure point the QoS governor exploits");
 
+    const std::vector<std::uint32_t> limits = {2, 4, 8, 16, 32, 64};
+
+    // One base system per limit (stable storage: base_system is held
+    // by pointer until the batch runs), measured with and without the
+    // QoS governor over a 25 ms ubench rate window.
+    std::vector<SystemConfig> bases(limits.size());
+    bench::CellBatch batch(jobs);
+    std::vector<std::pair<std::size_t, std::size_t>> rate_ix;
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+        bases[i].gpu.max_outstanding = limits[i];
+        ExperimentConfig free_config = bench::defaultConfig();
+        free_config.base_system = &bases[i];
+        free_config.rate_window = msToTicks(25);
+        ExperimentConfig qos_config = free_config;
+        qos_config.qos_threshold = 0.01;
+        rate_ix.push_back(
+            {batch.add("", "ubench", free_config,
+                       MeasureMode::GpuOnly, reps),
+             batch.add("", "ubench", qos_config,
+                       MeasureMode::GpuOnly, reps)});
+    }
+    batch.run();
+
     std::printf("%-12s %16s %16s %12s\n", "limit", "rate (no QoS)",
                 "rate (th_1)", "th_1/noQoS");
-    for (const std::uint32_t limit : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        bench::progress("limit " + std::to_string(limit));
-        const double free_rate = ubenchRate(limit, 0.0, reps);
-        const double throttled = ubenchRate(limit, 0.01, reps);
-        std::printf("%-12u %16.0f %16.0f %12.3f\n", limit, free_rate,
-                    throttled,
+    for (std::size_t i = 0; i < limits.size(); ++i) {
+        const double free_rate = batch[rate_ix[i].first].gpu_ssr_rate;
+        const double throttled = batch[rate_ix[i].second].gpu_ssr_rate;
+        std::printf("%-12u %16.0f %16.0f %12.3f\n", limits[i],
+                    free_rate, throttled,
                     free_rate > 0 ? throttled / free_rate : 0.0);
     }
     std::printf("\nThroughput grows with the limit (more latency "

@@ -10,6 +10,7 @@
  * latency-sensitive GPU app and for the throughput microbenchmark.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -19,6 +20,7 @@ main(int argc, char **argv)
 {
     using namespace hiss;
     const int reps = bench::repsFromArgs(argc, argv, 1);
+    const int jobs = bench::jobsFromArgs(argc, argv);
     bench::banner(
         "Ablation: coalescing-window sweep (0, 2, 5, 13, 25, 50 us)",
         "Paper Section V-B fixes 13 us; the trade-off curve is the "
@@ -26,72 +28,69 @@ main(int argc, char **argv)
 
     const Tick windows_us[] = {0, 2, 5, 13, 25, 50};
 
-    // References: no coalescing.
-    ExperimentConfig off = bench::defaultConfig();
-    const double cpu_ref = ExperimentRunner::runAveraged(
-        "facesim", "sssp", off, MeasureMode::CpuPrimary, reps)
-        .cpu_runtime_ms;
-    const double sssp_ref = ExperimentRunner::runAveraged(
-        "facesim", "sssp", off, MeasureMode::GpuPrimary, reps)
-        .gpu_runtime_ms;
-    const double ubench_ref = ExperimentRunner::runAveraged(
-        "facesim", "ubench", off, MeasureMode::GpuPrimary, reps)
-        .gpu_ssr_rate;
+    // Submit references, the window sweep, and the adaptive policy as
+    // one parallel batch: (cpu, sssp, ubench) triples per point.
+    bench::CellBatch batch(jobs);
+    auto add_point = [&](const ExperimentConfig &config) {
+        return std::array<std::size_t, 3>{
+            batch.add("facesim", "sssp", config,
+                      MeasureMode::CpuPrimary, reps),
+            batch.add("facesim", "sssp", config,
+                      MeasureMode::GpuPrimary, reps),
+            batch.add("facesim", "ubench", config,
+                      MeasureMode::GpuPrimary, reps)};
+    };
 
-    std::printf("%-10s %12s %12s %14s %14s\n", "window_us",
-                "cpu_perf", "sssp_perf", "ubench_perf",
-                "irqs_per_fault");
+    const auto ref_ix = add_point(bench::defaultConfig());
+    std::vector<std::array<std::size_t, 3>> window_ix;
     for (const Tick window : windows_us) {
-        bench::progress("window " + std::to_string(window) + " us");
         ExperimentConfig config = bench::defaultConfig();
         config.mitigation.interrupt_coalescing = window > 0;
         config.mitigation.coalesce_window = usToTicks(
             static_cast<double>(window));
-
-        const RunResult cpu = ExperimentRunner::runAveraged(
-            "facesim", "sssp", config, MeasureMode::CpuPrimary, reps);
-        const RunResult sssp = ExperimentRunner::runAveraged(
-            "facesim", "sssp", config, MeasureMode::GpuPrimary, reps);
-        const RunResult ubench = ExperimentRunner::runAveraged(
-            "facesim", "ubench", config, MeasureMode::GpuPrimary,
-            reps);
-        const double irqs_per_fault = ubench.faults_resolved > 0
-            ? static_cast<double>(ubench.ssr_interrupts)
-                / static_cast<double>(ubench.faults_resolved)
-            : 0.0;
-        std::printf("%-10llu %12.3f %12.3f %14.3f %14.3f\n",
-                    static_cast<unsigned long long>(window),
-                    normalizedPerf(cpu_ref, cpu.cpu_runtime_ms),
-                    normalizedPerf(sssp.gpu_runtime_ms, sssp_ref) > 0
-                        ? sssp_ref / sssp.gpu_runtime_ms
-                        : 0.0,
-                    ubench.gpu_ssr_rate / ubench_ref, irqs_per_fault);
+        window_ix.push_back(add_point(config));
     }
     // Adaptive coalescing (extension): waits ~4x the recent PPR
     // inter-arrival, capped at 13 us.
-    bench::progress("adaptive");
     ExperimentConfig adaptive = bench::defaultConfig();
     adaptive.mitigation.interrupt_coalescing = true;
     adaptive.mitigation.coalesce_window = usToTicks(13);
-    SystemConfig adaptive_base;
+    SystemConfig adaptive_base; // Must outlive batch.run().
     adaptive_base.iommu.adaptive_coalescing = true;
     adaptive.base_system = &adaptive_base;
     adaptive_base.applyMitigations(adaptive.mitigation);
     adaptive_base.iommu.adaptive_coalescing = true;
-    const RunResult acpu = ExperimentRunner::runAveraged(
-        "facesim", "sssp", adaptive, MeasureMode::CpuPrimary, reps);
-    const RunResult asssp = ExperimentRunner::runAveraged(
-        "facesim", "sssp", adaptive, MeasureMode::GpuPrimary, reps);
-    const RunResult aubench = ExperimentRunner::runAveraged(
-        "facesim", "ubench", adaptive, MeasureMode::GpuPrimary, reps);
-    std::printf("%-10s %12.3f %12.3f %14.3f %14.3f\n", "adaptive",
-                normalizedPerf(cpu_ref, acpu.cpu_runtime_ms),
-                sssp_ref / asssp.gpu_runtime_ms,
-                aubench.gpu_ssr_rate / ubench_ref,
-                aubench.faults_resolved > 0
-                    ? static_cast<double>(aubench.ssr_interrupts)
-                        / static_cast<double>(aubench.faults_resolved)
-                    : 0.0);
+    const auto adaptive_ix = add_point(adaptive);
+    batch.run();
+
+    const double cpu_ref = batch[ref_ix[0]].cpu_runtime_ms;
+    const double sssp_ref = batch[ref_ix[1]].gpu_runtime_ms;
+    const double ubench_ref = batch[ref_ix[2]].gpu_ssr_rate;
+
+    auto print_row = [&](const std::string &label,
+                         const std::array<std::size_t, 3> &ix) {
+        const RunResult &cpu = batch[ix[0]];
+        const RunResult &sssp = batch[ix[1]];
+        const RunResult &ubench = batch[ix[2]];
+        const double irqs_per_fault = ubench.faults_resolved > 0
+            ? static_cast<double>(ubench.ssr_interrupts)
+                / static_cast<double>(ubench.faults_resolved)
+            : 0.0;
+        std::printf("%-10s %12.3f %12.3f %14.3f %14.3f\n",
+                    label.c_str(),
+                    normalizedPerf(cpu_ref, cpu.cpu_runtime_ms),
+                    sssp.gpu_runtime_ms > 0
+                        ? sssp_ref / sssp.gpu_runtime_ms
+                        : 0.0,
+                    ubench.gpu_ssr_rate / ubench_ref, irqs_per_fault);
+    };
+
+    std::printf("%-10s %12s %12s %14s %14s\n", "window_us",
+                "cpu_perf", "sssp_perf", "ubench_perf",
+                "irqs_per_fault");
+    for (std::size_t w = 0; w < window_ix.size(); ++w)
+        print_row(std::to_string(windows_us[w]), window_ix[w]);
+    print_row("adaptive", adaptive_ix);
 
     std::printf("\nLonger windows shed interrupts (CPU up) but add "
                 "latency to faults on the GPU's critical path. The "

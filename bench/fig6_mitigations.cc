@@ -17,6 +17,8 @@
 
 #include <iostream>
 #include <map>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -39,6 +41,7 @@ main(int argc, char **argv)
     using namespace hiss;
     const int reps = bench::repsFromArgs(argc, argv, 1);
     const bool full = bench::fullSweep(argc, argv);
+    const int jobs = bench::jobsFromArgs(argc, argv);
     bench::banner(
         "Fig. 6: mitigation techniques in isolation "
         "(normalized to default)",
@@ -64,24 +67,40 @@ main(int argc, char **argv)
          {"coalesce", coalesce},
          {"monolithic", monolithic}};
 
-    // Default-configuration reference runs, shared by all panels.
-    std::map<std::pair<std::string, std::string>, double> cpu_ref;
-    std::map<std::pair<std::string, std::string>, double> gpu_ref;
+    // Submit the whole grid — default-configuration references plus
+    // every mitigation panel — as one parallel batch.
+    bench::CellBatch batch(jobs);
+    std::map<std::pair<std::string, std::string>, std::size_t> cpu_ref;
+    std::map<std::pair<std::string, std::string>, std::size_t> gpu_ref;
     for (const auto &cpu : cpu_apps) {
-        bench::progress("default: " + cpu);
         for (const auto &gpu : gpu_apps) {
-            const RunResult c = ExperimentRunner::runAveraged(
+            cpu_ref[{cpu, gpu}] = batch.add(
                 cpu, gpu, bench::defaultConfig(),
                 MeasureMode::CpuPrimary, reps);
-            cpu_ref[{cpu, gpu}] = c.cpu_runtime_ms;
-            const RunResult g = ExperimentRunner::runAveraged(
+            gpu_ref[{cpu, gpu}] = batch.add(
                 cpu, gpu, bench::defaultConfig(),
                 MeasureMode::GpuPrimary, reps);
-            gpu_ref[{cpu, gpu}] = gpuMetric(g, gpu);
         }
     }
+    std::map<std::tuple<std::string, std::string, std::string>,
+             std::pair<std::size_t, std::size_t>> case_cells;
+    for (const auto &[label, mitigation] : cases) {
+        for (const auto &cpu : cpu_apps) {
+            for (const auto &gpu : gpu_apps) {
+                ExperimentConfig config = bench::defaultConfig();
+                config.mitigation = mitigation;
+                const std::size_t c = batch.add(
+                    cpu, gpu, config, MeasureMode::CpuPrimary, reps);
+                const std::size_t g = batch.add(
+                    cpu, gpu, config, MeasureMode::GpuPrimary, reps);
+                case_cells[{label, cpu, gpu}] = {c, g};
+            }
+        }
+    }
+    batch.run();
 
     for (const auto &[label, mitigation] : cases) {
+        (void)mitigation;
         std::vector<std::string> headers = {"cpu_app"};
         for (const auto &gpu : gpu_apps)
             headers.push_back(gpu);
@@ -89,20 +108,16 @@ main(int argc, char **argv)
         TablePrinter gpu_table(headers);
 
         for (const auto &cpu : cpu_apps) {
-            bench::progress(label + ": " + cpu);
             std::vector<double> cpu_row;
             std::vector<double> gpu_row;
             for (const auto &gpu : gpu_apps) {
-                ExperimentConfig config = bench::defaultConfig();
-                config.mitigation = mitigation;
-                const RunResult c = ExperimentRunner::runAveraged(
-                    cpu, gpu, config, MeasureMode::CpuPrimary, reps);
+                const auto &[ci, gi] = case_cells[{label, cpu, gpu}];
                 cpu_row.push_back(normalizedPerf(
-                    cpu_ref[{cpu, gpu}], c.cpu_runtime_ms));
-                const RunResult g = ExperimentRunner::runAveraged(
-                    cpu, gpu, config, MeasureMode::GpuPrimary, reps);
-                gpu_row.push_back(gpuMetric(g, gpu)
-                                  / gpu_ref[{cpu, gpu}]);
+                    batch[cpu_ref[{cpu, gpu}]].cpu_runtime_ms,
+                    batch[ci].cpu_runtime_ms));
+                gpu_row.push_back(
+                    gpuMetric(batch[gi], gpu)
+                    / gpuMetric(batch[gpu_ref[{cpu, gpu}]], gpu));
             }
             cpu_table.addRow(cpu, cpu_row);
             gpu_table.addRow(cpu, gpu_row);

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -23,6 +24,7 @@ main(int argc, char **argv)
     using namespace hiss;
     const int reps = bench::repsFromArgs(argc, argv, 1);
     const bool full = bench::fullSweep(argc, argv);
+    const int jobs = bench::jobsFromArgs(argc, argv);
     bench::banner(
         "Fig. 7: Pareto chart of mitigation combinations (ubench)",
         "Default is not Pareto optimal; steer+coalesce maximizes CPU "
@@ -34,47 +36,49 @@ main(int argc, char **argv)
                                    "raytrace", "streamcluster",
                                    "swaptions", "x264"};
 
-    // No-SSR CPU baselines.
-    std::vector<double> cpu_baseline;
+    // Submit baselines and every combination as one parallel batch.
+    bench::CellBatch batch(jobs);
+    std::vector<std::size_t> baseline_ix;
     for (const auto &cpu : cpu_apps) {
-        bench::progress("baseline: " + cpu);
         ExperimentConfig base = bench::defaultConfig();
         base.gpu_demand_paging = false;
-        cpu_baseline.push_back(
-            ExperimentRunner::runAveraged(cpu, "ubench", base,
-                                          MeasureMode::CpuPrimary,
-                                          reps)
-                .cpu_runtime_ms);
+        baseline_ix.push_back(batch.add(cpu, "ubench", base,
+                                        MeasureMode::CpuPrimary, reps));
     }
-    // Idle-CPU ubench rate under the default configuration.
-    const double idle_rate =
-        ExperimentRunner::runAveraged("", "ubench",
-                                      bench::defaultConfig(),
-                                      MeasureMode::GpuOnly, reps)
-            .gpu_ssr_rate;
+    const std::size_t idle_ix = batch.add(
+        "", "ubench", bench::defaultConfig(), MeasureMode::GpuOnly,
+        reps);
+    const auto combos = MitigationConfig::allCombinations();
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+        combo_ix(combos.size());
+    for (std::size_t k = 0; k < combos.size(); ++k) {
+        ExperimentConfig config = bench::defaultConfig();
+        config.mitigation = combos[k];
+        for (std::size_t i = 0; i < cpu_apps.size(); ++i)
+            combo_ix[k].push_back(
+                {batch.add(cpu_apps[i], "ubench", config,
+                           MeasureMode::CpuPrimary, reps),
+                 batch.add(cpu_apps[i], "ubench", config,
+                           MeasureMode::GpuPrimary, reps)});
+    }
+    batch.run();
 
+    const double idle_rate = batch[idle_ix].gpu_ssr_rate;
     std::printf("%-28s %14s %14s\n", "configuration",
                 "CPU perf (X)", "ubench perf (Y)");
-    for (const MitigationConfig &combo :
-         MitigationConfig::allCombinations()) {
-        bench::progress(combo.label());
-        ExperimentConfig config = bench::defaultConfig();
-        config.mitigation = combo;
+    for (std::size_t k = 0; k < combos.size(); ++k) {
         std::vector<double> cpu_perf;
         std::vector<double> gpu_perf;
         for (std::size_t i = 0; i < cpu_apps.size(); ++i) {
-            const RunResult c = ExperimentRunner::runAveraged(
-                cpu_apps[i], "ubench", config,
-                MeasureMode::CpuPrimary, reps);
-            cpu_perf.push_back(
-                normalizedPerf(cpu_baseline[i], c.cpu_runtime_ms));
-            const RunResult g = ExperimentRunner::runAveraged(
-                cpu_apps[i], "ubench", config,
-                MeasureMode::GpuPrimary, reps);
-            gpu_perf.push_back(g.gpu_ssr_rate / idle_rate);
+            const auto &[ci, gi] = combo_ix[k][i];
+            cpu_perf.push_back(normalizedPerf(
+                batch[baseline_ix[i]].cpu_runtime_ms,
+                batch[ci].cpu_runtime_ms));
+            gpu_perf.push_back(batch[gi].gpu_ssr_rate / idle_rate);
         }
-        std::printf("%-28s %14.3f %14.3f\n", combo.label().c_str(),
-                    geomean(cpu_perf), geomean(gpu_perf));
+        std::printf("%-28s %14.3f %14.3f\n",
+                    combos[k].label().c_str(), geomean(cpu_perf),
+                    geomean(gpu_perf));
     }
     if (!full)
         std::printf("\n(6 of 13 CPU apps used; pass --full for the "

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -23,6 +24,7 @@ main(int argc, char **argv)
     using namespace hiss;
     const int reps = bench::repsFromArgs(argc, argv, 1);
     const bool full = bench::fullSweep(argc, argv);
+    const int jobs = bench::jobsFromArgs(argc, argv);
     bench::banner(
         "Fig. 8: Pareto chart of mitigation combinations "
         "(non-ubench GPU apps)",
@@ -37,53 +39,58 @@ main(int argc, char **argv)
     const std::vector<std::string> gpu_apps = {"bfs", "bpt", "spmv",
                                                "sssp", "xsbench"};
 
-    // Baselines: no-SSR CPU runtimes and default idle-CPU GPU times.
-    std::vector<double> cpu_baseline;
+    // Baselines (no-SSR CPU runtimes, default idle-CPU GPU times) and
+    // every mitigation combination, submitted as one parallel batch.
+    bench::CellBatch batch(jobs);
+    std::vector<std::size_t> cpu_baseline_ix;
     for (const auto &cpu : cpu_apps) {
-        bench::progress("baseline: " + cpu);
         ExperimentConfig base = bench::defaultConfig();
         base.gpu_demand_paging = false;
-        cpu_baseline.push_back(
-            ExperimentRunner::runAveraged(cpu, "ubench", base,
-                                          MeasureMode::CpuPrimary,
-                                          reps)
-                .cpu_runtime_ms);
+        cpu_baseline_ix.push_back(
+            batch.add(cpu, "ubench", base, MeasureMode::CpuPrimary,
+                      reps));
     }
-    std::vector<double> gpu_idle;
-    for (const auto &gpu : gpu_apps) {
-        bench::progress("idle baseline: " + gpu);
-        gpu_idle.push_back(
-            ExperimentRunner::runAveraged("", gpu,
-                                          bench::defaultConfig(),
-                                          MeasureMode::GpuOnly, reps)
-                .gpu_runtime_ms);
+    std::vector<std::size_t> gpu_idle_ix;
+    for (const auto &gpu : gpu_apps)
+        gpu_idle_ix.push_back(batch.add("", gpu,
+                                        bench::defaultConfig(),
+                                        MeasureMode::GpuOnly, reps));
+    const auto combos = MitigationConfig::allCombinations();
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+        combo_ix(combos.size());
+    for (std::size_t k = 0; k < combos.size(); ++k) {
+        ExperimentConfig config = bench::defaultConfig();
+        config.mitigation = combos[k];
+        for (std::size_t i = 0; i < cpu_apps.size(); ++i)
+            for (std::size_t j = 0; j < gpu_apps.size(); ++j)
+                combo_ix[k].push_back(
+                    {batch.add(cpu_apps[i], gpu_apps[j], config,
+                               MeasureMode::CpuPrimary, reps),
+                     batch.add(cpu_apps[i], gpu_apps[j], config,
+                               MeasureMode::GpuPrimary, reps)});
     }
+    batch.run();
 
     std::printf("%-28s %14s %14s\n", "configuration",
                 "CPU perf (X)", "GPU perf (Y)");
-    for (const MitigationConfig &combo :
-         MitigationConfig::allCombinations()) {
-        bench::progress(combo.label());
-        ExperimentConfig config = bench::defaultConfig();
-        config.mitigation = combo;
+    for (std::size_t k = 0; k < combos.size(); ++k) {
         std::vector<double> cpu_perf;
         std::vector<double> gpu_perf;
+        std::size_t cell = 0;
         for (std::size_t i = 0; i < cpu_apps.size(); ++i) {
             for (std::size_t j = 0; j < gpu_apps.size(); ++j) {
-                const RunResult c = ExperimentRunner::runAveraged(
-                    cpu_apps[i], gpu_apps[j], config,
-                    MeasureMode::CpuPrimary, reps);
-                cpu_perf.push_back(
-                    normalizedPerf(cpu_baseline[i], c.cpu_runtime_ms));
-                const RunResult g = ExperimentRunner::runAveraged(
-                    cpu_apps[i], gpu_apps[j], config,
-                    MeasureMode::GpuPrimary, reps);
-                gpu_perf.push_back(
-                    normalizedPerf(gpu_idle[j], g.gpu_runtime_ms));
+                const auto &[ci, gi] = combo_ix[k][cell++];
+                cpu_perf.push_back(normalizedPerf(
+                    batch[cpu_baseline_ix[i]].cpu_runtime_ms,
+                    batch[ci].cpu_runtime_ms));
+                gpu_perf.push_back(normalizedPerf(
+                    batch[gpu_idle_ix[j]].gpu_runtime_ms,
+                    batch[gi].gpu_runtime_ms));
             }
         }
-        std::printf("%-28s %14.3f %14.3f\n", combo.label().c_str(),
-                    geomean(cpu_perf), geomean(gpu_perf));
+        std::printf("%-28s %14.3f %14.3f\n",
+                    combos[k].label().c_str(), geomean(cpu_perf),
+                    geomean(gpu_perf));
     }
     if (!full)
         std::printf("\n(5 of 13 CPU apps used; pass --full for the "

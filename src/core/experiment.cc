@@ -149,12 +149,25 @@ ExperimentRunner::runAveraged(const std::string &cpu_app,
 {
     if (reps <= 0)
         fatal("ExperimentRunner: reps must be positive");
-    RunResult avg;
-    std::vector<std::uint64_t> per_core;
+    std::vector<RunResult> runs;
+    runs.reserve(static_cast<std::size_t>(reps));
     for (int i = 0; i < reps; ++i) {
         ExperimentConfig c = config;
         c.seed = config.seed + static_cast<std::uint64_t>(i);
-        const RunResult r = run(cpu_app, gpu_app, c, mode);
+        runs.push_back(run(cpu_app, gpu_app, c, mode));
+    }
+    return average(runs);
+}
+
+RunResult
+ExperimentRunner::average(const std::vector<RunResult> &runs)
+{
+    if (runs.empty())
+        fatal("ExperimentRunner: nothing to average");
+    const int reps = static_cast<int>(runs.size());
+    RunResult avg;
+    std::vector<std::uint64_t> per_core;
+    for (const RunResult &r : runs) {
         avg.hit_time_cap = avg.hit_time_cap || r.hit_time_cap;
         avg.elapsed_ms += r.elapsed_ms;
         avg.cpu_runtime_ms += r.cpu_runtime_ms;

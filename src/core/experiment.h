@@ -112,6 +112,13 @@ class ExperimentRunner
                                  const std::string &gpu_app,
                                  const ExperimentConfig &config,
                                  MeasureMode mode, int reps = 3);
+
+    /**
+     * Fold repetition results into their average, in input order —
+     * the exact reduction runAveraged applies, exposed so parallel
+     * callers (ExperimentBatch) reproduce it bit-identically.
+     */
+    static RunResult average(const std::vector<RunResult> &runs);
 };
 
 } // namespace hiss

@@ -23,6 +23,7 @@
 
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/experiment_batch.h"
 #include "core/metrics.h"
 #include "core/system.h"
 #include "workloads/gpu_suite.h"

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for event callbacks.
+ *
+ * The event queue schedules tens of millions of callbacks per
+ * simulated second; std::function heap-allocates for captures larger
+ * than its tiny internal buffer, which puts an allocator round-trip
+ * on the simulator's hottest path. EventCallback stores any callable
+ * up to kInlineBytes inline (enough for a `this` pointer plus several
+ * captured words) and only falls back to the heap beyond that.
+ */
+
+#ifndef HISS_SIM_EVENT_CALLBACK_H_
+#define HISS_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hiss {
+
+/** Move-only `void()` callable with inline storage. */
+class EventCallback
+{
+  public:
+    /** Inline capture budget; callables beyond this heap-allocate.
+     *  32 bytes covers `this` plus three captured words — nearly
+     *  every callback in the simulator. */
+    static constexpr std::size_t kInlineBytes = 32;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventCallback>
+                  && std::is_invocable_r_v<void, D &>>>
+    EventCallback(F &&fn) // NOLINT: implicit like std::function
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(fn));
+            vtable_ = &InlineOps<D>::vtable;
+        } else {
+            ptrSlot() = new D(std::forward<F>(fn));
+            vtable_ = &HeapOps<D>::vtable;
+        }
+    }
+
+    /** Allow `Callback fn = nullptr;` like std::function. */
+    EventCallback(std::nullptr_t) {} // NOLINT
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return vtable_ != nullptr; }
+
+    void operator()() { vtable_->invoke(buf_); }
+
+    /** Destroy the held callable, returning to the empty state. */
+    void
+    reset()
+    {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(buf_);
+            vtable_ = nullptr;
+        }
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *storage);
+        /** Moves storage into @p dst and abandons @p src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *storage);
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineBytes
+            && alignof(D) <= alignof(void *)
+            && std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    struct InlineOps
+    {
+        static D *as(void *p) { return std::launder(static_cast<D *>(p)); }
+        static void invoke(void *p) { (*as(p))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            ::new (dst) D(std::move(*as(src)));
+            as(src)->~D();
+        }
+        static void destroy(void *p) { as(p)->~D(); }
+        static constexpr VTable vtable{&invoke, &relocate, &destroy};
+    };
+
+    template <typename D>
+    struct HeapOps
+    {
+        static D *&slot(void *p) { return *static_cast<D **>(p); }
+        static void invoke(void *p) { (*slot(p))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            *static_cast<D **>(dst) = slot(src);
+        }
+        static void destroy(void *p) { delete slot(p); }
+        static constexpr VTable vtable{&invoke, &relocate, &destroy};
+    };
+
+    void *&ptrSlot() { return *reinterpret_cast<void **>(buf_); }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->relocate(buf_, other.buf_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    alignas(void *) unsigned char buf_[kInlineBytes];
+    const VTable *vtable_ = nullptr;
+};
+
+} // namespace hiss
+
+#endif // HISS_SIM_EVENT_CALLBACK_H_

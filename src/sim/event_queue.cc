@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.h"
@@ -13,11 +14,21 @@ EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
         panic("EventQueue: scheduling event in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, static_cast<int>(prio), next_seq_++, id,
-                     std::move(fn)});
-    live_.insert(id);
-    return id;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    heap_.push_back(Entry{when, makeOrder(prio, next_seq_++), slot,
+                          s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    ++num_pending_;
+    return makeId(slot, s.gen);
 }
 
 EventId
@@ -29,39 +40,80 @@ EventQueue::scheduleAfter(Tick delay, Callback fn, EventPriority prio)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kInvalidEventId || live_.count(id) == 0)
+    if (!pending(id))
         return false;
-    live_.erase(id);
-    cancelled_.insert(id);
+    const std::uint32_t slot = slotOf(id);
+    // Bumping the generation orphans the heap entry; it is skipped
+    // when it reaches the top, or culled earlier by compaction. The
+    // callback (and any resources it captured) dies right now.
+    ++slots_[slot].gen;
+    slots_[slot].fn.reset();
+    free_slots_.push_back(slot);
+    --num_pending_;
+    ++dead_in_heap_;
+    maybeCompact();
     return true;
 }
 
 bool
 EventQueue::pending(EventId id) const
 {
-    return id != kInvalidEventId && live_.count(id) > 0;
+    if (id == kInvalidEventId)
+        return false;
+    const std::uint32_t slot = slotOf(id);
+    return slot < slots_.size() && slots_[slot].gen == genOf(id);
 }
 
-std::size_t
-EventQueue::numPending() const
+EventQueue::Entry
+EventQueue::popEntry()
 {
-    return live_.size();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    return e;
+}
+
+void
+EventQueue::dropDeadTop()
+{
+    popEntry();
+    --dead_in_heap_;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Lazy deletion alone lets far-future cancelled events pile up in
+    // the heap; rebuild once they dominate so memory stays bounded at
+    // ~2x the live event count.
+    if (dead_in_heap_ < 64 || dead_in_heap_ * 2 < heap_.size())
+        return;
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry &e) {
+                                   return dead(e);
+                               }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    dead_in_heap_ = 0;
 }
 
 bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        Entry top = heap_.top();
-        heap_.pop();
-        if (cancelled_.count(top.id) > 0) {
-            cancelled_.erase(top.id);
+        if (dead(heap_.front())) {
+            dropDeadTop();
             continue;
         }
-        live_.erase(top.id);
-        now_ = top.when;
+        const Entry e = popEntry();
+        // Move the callback out before invoking it: the callback may
+        // schedule new events, which can grow (reallocate) slots_.
+        Callback fn = std::move(slots_[e.slot].fn);
+        retireSlot(e);
+        --num_pending_;
+        now_ = e.when;
         ++executed_;
-        top.fn();
+        fn();
         return true;
     }
     return false;
@@ -70,20 +122,14 @@ EventQueue::step()
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (cancelled_.count(top.id) > 0) {
-            cancelled_.erase(top.id);
-            heap_.pop();
-            continue;
-        }
-        if (top.when > until)
+    for (;;) {
+        while (!heap_.empty() && dead(heap_.front()))
+            dropDeadTop();
+        if (heap_.empty() || heap_.front().when > until)
             break;
         step();
     }
-    if (now_ < until && !heap_.empty())
-        now_ = until;
-    else if (now_ < until && heap_.empty())
+    if (now_ < until)
         now_ = until;
 }
 
@@ -97,9 +143,11 @@ EventQueue::run()
 void
 EventQueue::reset()
 {
-    heap_ = {};
-    cancelled_.clear();
-    live_.clear();
+    heap_.clear();
+    slots_.clear();
+    free_slots_.clear();
+    num_pending_ = 0;
+    dead_in_heap_ = 0;
     now_ = 0;
     next_seq_ = 0;
     executed_ = 0;

@@ -7,17 +7,26 @@
  * the same (tick, priority) execute in scheduling (FIFO) order, which
  * keeps runs deterministic. Scheduling returns an EventId that can be
  * used to cancel the event before it fires.
+ *
+ * Hot-path design: an EventId packs a slot-table index and a
+ * generation counter, so cancel()/pending() are O(1) array probes
+ * instead of hash-set lookups, and no per-event bookkeeping survives
+ * execution. Callbacks use EventCallback (inline small-buffer
+ * storage, so scheduling does not heap-allocate) and live in the
+ * slot table; the heap orders 24-byte POD keys, so every sift is a
+ * few trivial copies with no callback moves. Cancelled events free
+ * their callback immediately and their key is deleted lazily when it
+ * surfaces at the top of the heap; a compaction pass keeps heap
+ * memory bounded under cancel-heavy workloads.
  */
 
 #ifndef HISS_SIM_EVENT_QUEUE_H_
 #define HISS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_callback.h"
 #include "sim/ticks.h"
 
 namespace hiss {
@@ -46,7 +55,7 @@ enum class EventPriority : int {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -77,7 +86,7 @@ class EventQueue
     bool pending(EventId id) const;
 
     /** Number of events awaiting execution. */
-    std::size_t numPending() const;
+    std::size_t numPending() const { return num_pending_; }
 
     /** Total events executed so far. */
     std::uint64_t numExecuted() const { return executed_; }
@@ -105,37 +114,104 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    /**
+     * Heap entries currently held, including lazily-deleted cancelled
+     * events awaiting compaction (bounded at ~2x numPending()).
+     * Exposed for the bookkeeping-boundedness regression test.
+     */
+    std::size_t heapSize() const { return heap_.size(); }
+
+    /** Slot-table capacity (bounded by peak concurrent events). */
+    std::size_t slotTableSize() const { return slots_.size(); }
+
   private:
+    /**
+     * Heap key: 24-byte POD. `order` packs (priority, FIFO sequence)
+     * into one integer — priority in the top 16 bits, a monotonic
+     * sequence in the low 48 — so tie-breaking is a single compare
+     * and sifts move trivially-copyable values.
+     */
     struct Entry
     {
         Tick when;
-        int prio;
-        std::uint64_t seq; // FIFO tie-break.
-        EventId id;
-        Callback fn;
+        std::uint64_t order;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
     struct EntryCompare
     {
-        // std::priority_queue is a max-heap; invert for earliest-first.
+        // std::push_heap builds a max-heap; invert for earliest-first.
         bool
         operator()(const Entry &a, const Entry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
+            return a.order > b.order;
         }
+    };
+
+    static std::uint64_t
+    makeOrder(EventPriority prio, std::uint64_t seq)
+    {
+        return (static_cast<std::uint64_t>(static_cast<int>(prio))
+                << 48)
+            | seq;
+    }
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        // slot+1 keeps the id nonzero for every (slot, gen).
+        return (static_cast<EventId>(slot + 1) << 32) | gen;
+    }
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32) - 1;
+    }
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    /** True if the entry was cancelled after being pushed. */
+    bool
+    dead(const Entry &e) const
+    {
+        return slots_[e.slot].gen != e.gen;
+    }
+
+    /** Retire the slot backing @p e so its id stops matching. */
+    void
+    retireSlot(const Entry &e)
+    {
+        ++slots_[e.slot].gen;
+        free_slots_.push_back(e.slot);
+    }
+
+    Entry popEntry();
+    void dropDeadTop();
+    void maybeCompact();
+
+    /**
+     * One pending event: its generation and its callback. The
+     * callback is constructed here at schedule time and never moved
+     * until execution (or destroyed at cancellation).
+     */
+    struct Slot
+    {
+        std::uint32_t gen = 1;
+        Callback fn;
     };
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
-    std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> live_;
+    std::size_t num_pending_ = 0;
+    std::size_t dead_in_heap_ = 0;
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
 };
 
 } // namespace hiss

@@ -1,16 +1,24 @@
 #include "sim/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <vector>
 
 namespace hiss {
 namespace {
 
-logging::Level g_level = logging::Level::Warn;
+// Logging configuration is process-global and may be consulted from
+// every ExperimentBatch worker thread concurrently. The level and the
+// all-categories flag are atomics (the common traceEnabled() path
+// reads only g_level); the category set takes a mutex, reached only
+// when the level is Trace.
+std::atomic<logging::Level> g_level{logging::Level::Warn};
+std::mutex g_trace_mutex;
 std::set<std::string> g_trace_categories;
-bool g_trace_all = false;
+std::atomic<bool> g_trace_all{false};
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -30,32 +38,42 @@ vformat(const char *fmt, va_list ap)
 
 namespace logging {
 
-void setLevel(Level level) { g_level = level; }
+void
+setLevel(Level level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
 
-Level level() { return g_level; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void
 enableTrace(const std::string &category)
 {
-    if (category.empty())
-        g_trace_all = true;
-    else
+    if (category.empty()) {
+        g_trace_all.store(true, std::memory_order_relaxed);
+    } else {
+        std::lock_guard<std::mutex> lock(g_trace_mutex);
         g_trace_categories.insert(category);
+    }
 }
 
 void
 clearTrace()
 {
-    g_trace_all = false;
+    g_trace_all.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
     g_trace_categories.clear();
 }
 
 bool
 traceEnabled(const std::string &category)
 {
-    if (g_level != Level::Trace)
+    if (level() != Level::Trace)
         return false;
-    return g_trace_all || g_trace_categories.count(category) > 0;
+    if (g_trace_all.load(std::memory_order_relaxed))
+        return true;
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    return g_trace_categories.count(category) > 0;
 }
 
 } // namespace logging

@@ -137,6 +137,61 @@ TEST(EventQueue, ResetClearsEverything)
     EXPECT_EQ(q.numExecuted(), 0u);
 }
 
+TEST(EventQueue, StaleIdsDoNotAliasReusedSlots)
+{
+    EventQueue q;
+    const EventId a = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    // The new event reuses a's slot; the stale id must not match it.
+    const EventId b = q.schedule(20, [] {});
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.pending(a));
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_TRUE(q.pending(b));
+    q.run();
+    EXPECT_FALSE(q.pending(b));
+    EXPECT_EQ(q.numExecuted(), 1u);
+}
+
+TEST(EventQueue, LargeCapturesExecute)
+{
+    // Captures beyond the inline callback buffer take the heap path.
+    EventQueue q;
+    struct Big
+    {
+        std::uint64_t words[16] = {};
+    } big;
+    big.words[15] = 7;
+    std::uint64_t seen = 0;
+    q.schedule(10, [big, &seen] { seen = big.words[15]; });
+    q.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+// Regression: the seed implementation kept an unordered_set entry per
+// live event and per cancelled-but-unpopped event, so cancel-heavy
+// long runs grew without bound. Bookkeeping must stay bounded by the
+// peak number of concurrently pending events, not by history.
+TEST(EventQueue, BookkeepingBoundedUnderChurn)
+{
+    EventQueue q;
+    constexpr int kCycles = 100000;
+    std::uint64_t fired = 0;
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+        q.schedule(q.now() + 1, [&fired] { ++fired; });
+        // A far-future event cancelled immediately: lazy deletion
+        // would strand it in the heap for the whole run.
+        const EventId doomed =
+            q.schedule(q.now() + 1000000000, [] {});
+        ASSERT_TRUE(q.cancel(doomed));
+        ASSERT_TRUE(q.step());
+    }
+    EXPECT_EQ(fired, static_cast<std::uint64_t>(kCycles));
+    EXPECT_EQ(q.numPending(), 0u);
+    EXPECT_LE(q.heapSize(), 256u);
+    EXPECT_LE(q.slotTableSize(), 256u);
+}
+
 TEST(EventQueueDeath, SchedulingInPastPanics)
 {
     EventQueue q;

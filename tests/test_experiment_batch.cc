@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine.
+ *
+ * The load-bearing property is the determinism contract: a parallel
+ * batch must be bit-identical to running the same cells serially
+ * through ExperimentRunner, at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment_batch.h"
+#include "sim/logging.h"
+
+namespace hiss {
+namespace {
+
+ExperimentConfig
+fastConfig(std::uint64_t seed)
+{
+    ExperimentConfig config;
+    config.seed = seed;
+    config.rate_window = msToTicks(8);
+    config.max_sim_time = msToTicks(400);
+    return config;
+}
+
+/** Exact (bitwise for doubles) RunResult comparison. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.hit_time_cap, b.hit_time_cap);
+    EXPECT_EQ(a.elapsed_ms, b.elapsed_ms);
+    EXPECT_EQ(a.cpu_runtime_ms, b.cpu_runtime_ms);
+    EXPECT_EQ(a.gpu_runtime_ms, b.gpu_runtime_ms);
+    EXPECT_EQ(a.gpu_ssr_rate, b.gpu_ssr_rate);
+    EXPECT_EQ(a.cc6_fraction, b.cc6_fraction);
+    EXPECT_EQ(a.user_l1d_miss_rate, b.user_l1d_miss_rate);
+    EXPECT_EQ(a.user_branch_miss_rate, b.user_branch_miss_rate);
+    EXPECT_EQ(a.ssr_cpu_fraction, b.ssr_cpu_fraction);
+    EXPECT_EQ(a.total_irqs, b.total_irqs);
+    EXPECT_EQ(a.total_ipis, b.total_ipis);
+    EXPECT_EQ(a.ssr_interrupts, b.ssr_interrupts);
+    EXPECT_EQ(a.faults_resolved, b.faults_resolved);
+    EXPECT_EQ(a.msis_raised, b.msis_raised);
+    EXPECT_EQ(a.ssr_irqs_per_core, b.ssr_irqs_per_core);
+}
+
+/** The 2 CPU apps x 2 GPU apps x 2 seeds determinism grid. */
+std::vector<ExperimentCell>
+testGrid()
+{
+    std::vector<ExperimentCell> cells;
+    for (const char *cpu : {"swaptions", "x264"})
+        for (const char *gpu : {"ubench", "spmv"})
+            for (std::uint64_t seed : {81u, 82u})
+                cells.push_back({cpu, gpu, fastConfig(seed),
+                                 MeasureMode::CpuPrimary, 1});
+    return cells;
+}
+
+TEST(ExperimentBatch, ParallelMatchesSerialBitIdentically)
+{
+    const std::vector<ExperimentCell> cells = testGrid();
+    const std::vector<RunResult> parallel =
+        ExperimentBatch(4).run(cells);
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunResult serial = ExperimentRunner::run(
+            cells[i].cpu_app, cells[i].gpu_app, cells[i].config,
+            cells[i].mode);
+        expectIdentical(parallel[i], serial);
+    }
+}
+
+TEST(ExperimentBatch, JobCountDoesNotChangeResults)
+{
+    // A smaller slice of the grid, re-run at several job counts.
+    std::vector<ExperimentCell> cells = testGrid();
+    cells.resize(4);
+    const std::vector<RunResult> one = ExperimentBatch(1).run(cells);
+    const std::vector<RunResult> three =
+        ExperimentBatch(3).run(cells);
+    const std::vector<RunResult> many =
+        ExperimentBatch(16).run(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        expectIdentical(one[i], three[i]);
+        expectIdentical(one[i], many[i]);
+    }
+}
+
+TEST(ExperimentBatch, RunAveragedMatchesSerialRunAveraged)
+{
+    const ExperimentConfig config = fastConfig(81);
+    const RunResult serial = ExperimentRunner::runAveraged(
+        "", "spmv", config, MeasureMode::GpuOnly, 3);
+    const RunResult parallel = ExperimentBatch(3).runAveraged(
+        "", "spmv", config, MeasureMode::GpuOnly, 3);
+    expectIdentical(serial, parallel);
+}
+
+TEST(ExperimentBatch, CellRepsAverageLikeRunAveraged)
+{
+    ExperimentCell cell{"", "spmv", fastConfig(81),
+                        MeasureMode::GpuOnly, 2};
+    const std::vector<RunResult> results =
+        ExperimentBatch(2).run({cell});
+    ASSERT_EQ(results.size(), 1u);
+    const RunResult serial = ExperimentRunner::runAveraged(
+        "", "spmv", cell.config, cell.mode, cell.reps);
+    expectIdentical(results[0], serial);
+}
+
+TEST(ExperimentBatch, DefaultJobsUsesHardwareConcurrency)
+{
+    EXPECT_GE(ExperimentBatch(0).jobs(), 1);
+    EXPECT_GE(ExperimentBatch(-3).jobs(), 1);
+    EXPECT_EQ(ExperimentBatch(7).jobs(), 7);
+}
+
+TEST(ExperimentBatch, EmptyBatchReturnsEmpty)
+{
+    EXPECT_TRUE(ExperimentBatch(4).run({}).empty());
+}
+
+TEST(ExperimentBatch, WorkerExceptionsPropagate)
+{
+    std::vector<ExperimentCell> cells = testGrid();
+    cells.resize(2);
+    cells[1].cpu_app = "not-a-benchmark";
+    EXPECT_THROW(ExperimentBatch(2).run(cells), FatalError);
+    EXPECT_THROW(ExperimentBatch(1).run(cells), FatalError);
+}
+
+} // namespace
+} // namespace hiss

@@ -12,8 +12,10 @@
  *   hiss_sim --cpu facesim --gpu sssp --qos 0.01
  *   hiss_sim --gpu ubench --steer 0 --coalesce 13 --duration 20
  *   hiss_sim --cpu x264 --gpu sssp --trace timeline.json
+ *   hiss_sim --cpu x264 --gpu sssp --reps 8 --jobs 4
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +47,8 @@ struct Options
     ThrottlePolicy qos_policy = ThrottlePolicy::ExponentialBackoff;
     double duration_ms = 0.0; // 0 = until CPU app completes.
     std::uint64_t seed = 1;
+    int reps = 1;
+    int jobs = 0; // 0 = all hardware threads.
     std::string stats_path;
     std::string csv_path;
     std::string trace_path;
@@ -79,6 +83,9 @@ usage()
         "Run control and output:\n"
         "  --duration ms        fixed window (default: CPU app end)\n"
         "  --seed N             experiment seed (default 1)\n"
+        "  --reps N             average N runs, seeds seed..seed+N-1\n"
+        "  --jobs N             parallel workers for --reps\n"
+        "                       (default: all hardware threads)\n"
         "  --stats FILE|-       dump all statistics\n"
         "  --csv FILE           dump statistics as CSV\n"
         "  --trace FILE.json    chrome://tracing timeline\n"
@@ -170,6 +177,18 @@ parseArgs(int argc, char **argv, Options &opt)
             if (v == nullptr)
                 fatal("--seed needs a value");
             opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--reps") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--reps needs a value");
+            opt.reps = std::atoi(v);
+            if (opt.reps < 1)
+                fatal("--reps must be >= 1");
+        } else if (arg == "--jobs") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--jobs needs a value");
+            opt.jobs = std::atoi(v);
         } else if (arg == "--stats") {
             const char *v = need_value(i);
             if (v == nullptr)
@@ -196,6 +215,92 @@ parseArgs(int argc, char **argv, Options &opt)
         }
     }
     return true;
+}
+
+/**
+ * Host-performance footer: wall-clock, simulated-ticks/sec, and
+ * events/sec, so BENCH_*.json runs can track simulator throughput.
+ */
+void
+printHostThroughput(std::chrono::steady_clock::time_point wall_start,
+                    Tick simulated, std::uint64_t events)
+{
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wall_start)
+            .count();
+    const double safe_s = wall_s > 0.0 ? wall_s : 1e-9;
+    std::printf("host: wall=%.3f s  %.1f Mticks/s",
+                wall_s, static_cast<double>(simulated) / safe_s / 1e6);
+    if (events > 0) // The averaged path has no per-system event count.
+        std::printf("  %.2f Mevents/s (%llu events)",
+                    static_cast<double>(events) / safe_s / 1e6,
+                    static_cast<unsigned long long>(events));
+    std::printf("\n");
+}
+
+/** --reps path: average repetitions, run in parallel on --jobs. */
+int
+runAveraged(const Options &opt)
+{
+    if (opt.cpu_apps.size() > 1 || opt.extra_accelerators > 0
+        || !opt.trace_path.empty() || !opt.stats_path.empty()
+        || !opt.csv_path.empty() || opt.proc_interrupts)
+        fatal("--reps averages over runs: use at most one --cpu and "
+              "no --accelerators/--trace/--stats/--csv/"
+              "--proc-interrupts");
+
+    ExperimentConfig config;
+    config.seed = opt.seed;
+    config.mitigation.steer_to_single_core = opt.steer;
+    config.mitigation.steer_core = opt.steer_core;
+    config.mitigation.interrupt_coalescing = opt.coalesce_us >= 0.0;
+    if (opt.coalesce_us > 0.0)
+        config.mitigation.coalesce_window = usToTicks(opt.coalesce_us);
+    config.mitigation.monolithic_bottom_half = opt.monolithic;
+    config.qos_threshold = opt.qos_threshold;
+    config.gpu_demand_paging = opt.demand_paging;
+    if (opt.duration_ms > 0.0)
+        config.rate_window = msToTicks(opt.duration_ms);
+
+    const std::string cpu_app =
+        opt.cpu_apps.empty() ? "" : opt.cpu_apps.front();
+    const MeasureMode mode = !cpu_app.empty()
+        ? (opt.gpu_app.empty() ? MeasureMode::CpuOnly
+                               : MeasureMode::CpuPrimary)
+        : MeasureMode::GpuOnly;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const ExperimentBatch batch(opt.jobs);
+    const RunResult avg = batch.runAveraged(cpu_app, opt.gpu_app,
+                                            config, mode, opt.reps);
+
+    std::printf("averaged %d runs (seeds %llu..%llu, %d jobs)\n",
+                opt.reps, static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(
+                    opt.seed + static_cast<std::uint64_t>(opt.reps)
+                    - 1),
+                batch.jobs());
+    if (!cpu_app.empty())
+        std::printf("  %-16s mean runtime %.3f ms\n", cpu_app.c_str(),
+                    avg.cpu_runtime_ms);
+    if (!opt.gpu_app.empty())
+        std::printf("  %-16s mean runtime %.3f ms  faults=%llu  "
+                    "rate=%.0f/s\n",
+                    opt.gpu_app.c_str(), avg.gpu_runtime_ms,
+                    static_cast<unsigned long long>(
+                        avg.faults_resolved),
+                    avg.gpu_ssr_rate);
+    std::printf("  ssr_cpu=%.1f%%  cc6=%.1f%%  irqs=%llu  "
+                "ipis=%llu%s\n",
+                100.0 * avg.ssr_cpu_fraction, 100.0 * avg.cc6_fraction,
+                static_cast<unsigned long long>(avg.total_irqs),
+                static_cast<unsigned long long>(avg.total_ipis),
+                avg.hit_time_cap ? "  (hit time cap)" : "");
+    const Tick total_ticks = msToTicks(avg.elapsed_ms)
+        * static_cast<Tick>(opt.reps);
+    printHostThroughput(wall_start, total_ticks, 0);
+    return 0;
 }
 
 int
@@ -233,7 +338,10 @@ run(const Options &opt)
     }
     if (opt.cpu_apps.empty() && opt.gpu_app.empty())
         fatal("nothing to run: give --cpu and/or --gpu (see --help)");
+    if (opt.reps > 1)
+        return runAveraged(opt);
 
+    const auto wall_start = std::chrono::steady_clock::now();
     HeteroSystem sys(config);
     std::unique_ptr<TraceWriter> trace;
     if (!opt.trace_path.empty()) {
@@ -313,6 +421,8 @@ run(const Options &opt)
                 100.0 * cc6 / denom,
                 static_cast<unsigned long long>(
                     sys.kernel().scheduler().ipisSent()));
+    printHostThroughput(wall_start, sys.now(),
+                        sys.events().numExecuted());
 
     if (opt.proc_interrupts) {
         std::printf("\n/proc/interrupts:\n");
