@@ -79,6 +79,13 @@ SystemConfig::describe() const
        << (kernel.qos.enabled
                ? "threshold " + std::to_string(kernel.qos.threshold)
                : std::string("off"))
+       << "\n  Invariant checks: "
+       << (check_invariants
+               ? "armed (period "
+                     + std::to_string(static_cast<long long>(
+                           ticksToUs(check_period)))
+                     + " us)"
+               : std::string("off"))
        << "\n";
     return os.str();
 }

@@ -20,6 +20,7 @@
 #include "iommu/iommu.h"
 #include "os/kernel.h"
 #include "os/ssr_driver.h"
+#include "sim/check_hooks.h"
 
 namespace hiss {
 
@@ -59,6 +60,17 @@ struct SystemConfig
 
     /** Experiment seed: drives every component's RNG stream. */
     std::uint64_t seed = 1;
+
+    /**
+     * Arm the runtime invariant layer (src/check): a read-only
+     * monitor sweeps the whole model every check_period and throws
+     * check::InvariantError on the first inconsistency. Defaults to
+     * on in HISS_CHECK=ON builds; armed checks never perturb results
+     * (the monitor draws no randomness and mutates no model state).
+     */
+    bool check_invariants = kCheckDefaultArmed;
+    /** Period between invariant sweeps when armed. */
+    Tick check_period = usToTicks(50);
 
     /** Fold a mitigation selection into the device/driver configs. */
     void applyMitigations(const MitigationConfig &mitigation);

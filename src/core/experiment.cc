@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <cstdio>
+
 #include "core/system.h"
 #include "sim/logging.h"
 #include "workloads/gpu_suite.h"
@@ -61,12 +63,31 @@ extractResult(HeteroSystem &sys, Tick elapsed)
     return r;
 }
 
-} // namespace
+/**
+ * Identify a failing cell on stderr: the seed plus a config summary
+ * sufficient to reproduce it (the invariant layer and fatal() both
+ * rely on this so a crashing --reps/--jobs worker names its seed).
+ */
+void
+reportFailure(const std::string &cpu_app, const std::string &gpu_app,
+              const ExperimentConfig &config, const std::exception &e)
+{
+    std::fprintf(
+        stderr,
+        "hiss: run failed: %s\n"
+        "hiss:   seed=%llu cpu='%s' gpu='%s' mitigation=%s qos=%g "
+        "demand_paging=%d accels=%d%s\n",
+        e.what(), static_cast<unsigned long long>(config.seed),
+        cpu_app.c_str(), gpu_app.c_str(),
+        config.mitigation.label().c_str(), config.qos_threshold,
+        config.gpu_demand_paging ? 1 : 0,
+        1 + config.extra_accelerators,
+        config.check_invariants ? " check=on" : "");
+}
 
 RunResult
-ExperimentRunner::run(const std::string &cpu_app,
-                      const std::string &gpu_app,
-                      const ExperimentConfig &config, MeasureMode mode)
+runCell(const std::string &cpu_app, const std::string &gpu_app,
+        const ExperimentConfig &config, MeasureMode mode)
 {
     SystemConfig sys_config =
         config.base_system != nullptr ? *config.base_system
@@ -75,6 +96,8 @@ ExperimentRunner::run(const std::string &cpu_app,
     sys_config.applyMitigations(config.mitigation);
     if (config.qos_threshold > 0.0)
         sys_config.enableQos(config.qos_threshold);
+    if (config.check_invariants)
+        sys_config.check_invariants = true;
 
     HeteroSystem sys(sys_config);
 
@@ -99,6 +122,9 @@ ExperimentRunner::run(const std::string &cpu_app,
         const GpuWorkloadParams workload = gpu_suite::params(gpu_app);
         const bool loop = mode == MeasureMode::CpuPrimary || rate_based;
         sys.launchGpu(workload, config.gpu_demand_paging, loop);
+        for (int i = 0; i < config.extra_accelerators; ++i)
+            sys.addAccelerator().launch(workload,
+                                        config.gpu_demand_paging, true);
     } else if (mode == MeasureMode::GpuPrimary
                || mode == MeasureMode::GpuOnly) {
         fatal("ExperimentRunner: GPU-measuring mode without a GPU app");
@@ -139,6 +165,21 @@ ExperimentRunner::run(const std::string &cpu_app,
         warn("experiment %s/%s hit the simulated-time cap",
              cpu_app.c_str(), gpu_app.c_str());
     return result;
+}
+
+} // namespace
+
+RunResult
+ExperimentRunner::run(const std::string &cpu_app,
+                      const std::string &gpu_app,
+                      const ExperimentConfig &config, MeasureMode mode)
+{
+    try {
+        return runCell(cpu_app, gpu_app, config, mode);
+    } catch (const std::exception &e) {
+        reportFailure(cpu_app, gpu_app, config, e);
+        throw;
+    }
 }
 
 RunResult

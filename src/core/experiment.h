@@ -49,6 +49,16 @@ struct ExperimentConfig
     /** Hard cap on simulated time (safety). */
     Tick max_sim_time = msToTicks(600);
 
+    /**
+     * Extra accelerators sharing the IOMMU/SSR path, each running
+     * the same GPU workload (the paper's accelerator-rich-SoC
+     * projection). Ignored when no GPU app is given.
+     */
+    int extra_accelerators = 0;
+
+    /** Arm the runtime invariant layer (src/check) for this cell. */
+    bool check_invariants = false;
+
     /** Override the default testbed (leave nullptr for Table II). */
     const SystemConfig *base_system = nullptr;
 };

@@ -1,6 +1,5 @@
 #include "core/experiment_batch.h"
 
-#include <atomic>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -76,20 +75,23 @@ ExperimentBatch::ExperimentBatch(int jobs) : jobs_(jobs)
     }
 }
 
-std::vector<RunResult>
-ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
+void
+ExperimentBatch::execute(const std::vector<ExperimentCell> &cells,
+                         std::vector<RunResult> &results,
+                         std::vector<std::exception_ptr> &errors) const
 {
-    std::vector<RunResult> results(cells.size());
-    if (cells.empty())
-        return results;
-
     const int workers = static_cast<int>(
         std::min<std::size_t>(cells.size(),
                               static_cast<std::size_t>(jobs_)));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            results[i] = runCell(cells[i]);
-        return results;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            try {
+                results[i] = runCell(cells[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        return;
     }
 
     // Deal cells round-robin so every worker starts with a local run
@@ -97,9 +99,6 @@ ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
     std::vector<StealQueue> queues(workers);
     for (std::size_t i = 0; i < cells.size(); ++i)
         queues[i % workers].push(i);
-
-    std::vector<std::exception_ptr> errors(cells.size());
-    std::atomic<bool> failed{false};
 
     auto work = [&](int self) {
         std::size_t index;
@@ -113,7 +112,6 @@ ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
                 results[index] = runCell(cells[index]);
             } catch (...) {
                 errors[index] = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
             }
         }
     };
@@ -125,12 +123,46 @@ ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
     work(0);
     for (std::thread &t : threads)
         t.join();
+}
 
-    if (failed.load(std::memory_order_relaxed))
-        for (std::exception_ptr &err : errors)
-            if (err)
-                std::rethrow_exception(err);
+std::vector<RunResult>
+ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
+{
+    std::vector<RunResult> results(cells.size());
+    if (cells.empty())
+        return results;
+    std::vector<std::exception_ptr> errors(cells.size());
+    execute(cells, results, errors);
+    for (std::exception_ptr &err : errors)
+        if (err)
+            std::rethrow_exception(err);
     return results;
+}
+
+std::vector<CellOutcome>
+ExperimentBatch::runCatching(const std::vector<ExperimentCell> &cells) const
+{
+    std::vector<CellOutcome> outcomes(cells.size());
+    if (cells.empty())
+        return outcomes;
+    std::vector<RunResult> results(cells.size());
+    std::vector<std::exception_ptr> errors(cells.size());
+    execute(cells, results, errors);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (errors[i]) {
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const std::exception &e) {
+                outcomes[i].error = e.what();
+            } catch (...) {
+                outcomes[i].error = "unknown error";
+            }
+        } else {
+            outcomes[i].ok = true;
+            outcomes[i].result = std::move(results[i]);
+        }
+    }
+    return outcomes;
 }
 
 RunResult

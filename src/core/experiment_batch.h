@@ -22,6 +22,7 @@
 #ifndef HISS_CORE_EXPERIMENT_BATCH_H_
 #define HISS_CORE_EXPERIMENT_BATCH_H_
 
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ struct ExperimentCell
 
     /** > 1 averages over seeds like ExperimentRunner::runAveraged. */
     int reps = 1;
+};
+
+/** What became of one cell in ExperimentBatch::runCatching. */
+struct CellOutcome
+{
+    /** True when the cell completed; result is then valid. */
+    bool ok = false;
+    RunResult result;
+    /** The failure's what() when !ok. */
+    std::string error;
 };
 
 /** Runs experiment cells across worker threads. */
@@ -63,6 +74,15 @@ class ExperimentBatch
      */
     std::vector<RunResult> run(const std::vector<ExperimentCell> &cells) const;
 
+    /**
+     * Like run(), but failures never propagate: every cell runs to
+     * an outcome, and failing cells carry the error text instead of
+     * a result. Built for hiss_fuzz, which must keep fuzzing after a
+     * seed fails and attribute each failure to its cell.
+     */
+    std::vector<CellOutcome>
+    runCatching(const std::vector<ExperimentCell> &cells) const;
+
     /** One-shot convenience: run @p cells on @p jobs workers. */
     static std::vector<RunResult>
     runAll(const std::vector<ExperimentCell> &cells, int jobs = 0)
@@ -82,6 +102,14 @@ class ExperimentBatch
                           MeasureMode mode, int reps = 3) const;
 
   private:
+    /**
+     * The shared engine: run every cell, capturing each failure in
+     * @p errors at the failing cell's index.
+     */
+    void execute(const std::vector<ExperimentCell> &cells,
+                 std::vector<RunResult> &results,
+                 std::vector<std::exception_ptr> &errors) const;
+
     int jobs_;
 };
 

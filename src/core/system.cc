@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "check/invariants.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -30,6 +31,14 @@ HeteroSystem::HeteroSystem(const SystemConfig &config)
     signal_queue_->setDriver(signal_driver_);
 
     gpu_ = std::make_unique<Gpu>(ctx_, *iommu_, config.gpu);
+
+    if (config.check_invariants) {
+        // Constructed after every observed subsystem, before any
+        // events run, so the ledgers see every request from t=0.
+        monitor_ = std::make_unique<check::InvariantMonitor>(
+            ctx_, *this, config.check_period);
+        ctx_.checks = monitor_.get();
+    }
 }
 
 HeteroSystem::~HeteroSystem() = default;
@@ -58,6 +67,14 @@ HeteroSystem::addAccelerator()
     extra_gpus_.push_back(
         std::make_unique<Gpu>(ctx_, *iommu_, params));
     return *extra_gpus_.back();
+}
+
+void
+HeteroSystem::finalizeStats()
+{
+    if (monitor_ != nullptr)
+        monitor_->runAllChecks();
+    kernel_->finalizeStats();
 }
 
 bool

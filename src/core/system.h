@@ -24,6 +24,10 @@
 
 namespace hiss {
 
+namespace check {
+class InvariantMonitor;
+} // namespace check
+
 /** A fully wired simulated SoC. */
 class HeteroSystem
 {
@@ -43,6 +47,11 @@ class HeteroSystem
     Gpu &gpu() { return *gpu_; }
     SsrDriver &ssrDriver() { return *ssr_driver_; }
     SignalQueue &signalQueue() { return *signal_queue_; }
+    SsrDriver &signalDriver() { return *signal_driver_; }
+
+    /** The armed invariant monitor, or nullptr when checking is off
+     *  (SystemConfig::check_invariants / HISS_CHECK=ON). */
+    check::InvariantMonitor *checkMonitor() { return monitor_.get(); }
 
     /** Create (but not start) a CPU application; owned by the system. */
     CpuApp &addCpuApp(const CpuAppParams &params);
@@ -77,8 +86,12 @@ class HeteroSystem
     bool runUntilCondition(const std::function<bool()> &predicate,
                            Tick cap);
 
-    /** Fold in-progress residency intervals into core stats. */
-    void finalizeStats() { kernel_->finalizeStats(); }
+    /**
+     * Fold in-progress residency intervals into core stats. With the
+     * invariant layer armed this also runs one final full sweep, so
+     * every run ends on a checked quiesce point.
+     */
+    void finalizeStats();
 
     /**
      * Attach (or detach with nullptr) a timeline writer; cores then
@@ -100,6 +113,9 @@ class HeteroSystem
     std::unique_ptr<Gpu> gpu_;
     std::vector<std::unique_ptr<Gpu>> extra_gpus_;
     std::vector<std::unique_ptr<CpuApp>> apps_;
+    // Declared last: the monitor observes every other subsystem, so
+    // it must be destroyed first.
+    std::unique_ptr<check::InvariantMonitor> monitor_;
 };
 
 } // namespace hiss

@@ -1,5 +1,6 @@
 #include "gpu/signal_queue.h"
 
+#include "sim/check_hooks.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -35,6 +36,9 @@ SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
             if (cb)
                 cb(core);
         };
+    if (CheckHooks *checks = checkHooks())
+        checks->onSsrIssued(static_cast<const RequestSource *>(this),
+                            request.id);
     queue_.push_back(std::move(request));
     considerRaise();
 }

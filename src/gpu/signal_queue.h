@@ -54,6 +54,9 @@ class SignalQueue : public SimObject, public RequestSource
     std::uint64_t signalsSent() const { return signals_sent_; }
     std::uint64_t signalsDelivered() const { return signals_delivered_; }
 
+    /** Signals written but not yet drained (invariant audit). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
   private:
     void considerRaise();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check_hooks.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -117,6 +118,9 @@ Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
     last_ppr_at_ = now();
     ppr_gap_ema_ = (ppr_gap_ema_ * 7 + gap * 3) / 10;
 
+    if (CheckHooks *checks = checkHooks())
+        checks->onSsrIssued(static_cast<const RequestSource *>(this),
+                            request.id);
     ppr_queue_.push_back(std::move(request));
     considerRaiseMsi();
 }

@@ -47,6 +47,14 @@ class AddressSpaceDirectory
     /** Total mapped pages across all address spaces. */
     std::size_t totalMapped() const;
 
+    /** Visit every registered (pasid, table) pair in pasid order. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const auto &entry : spaces_)
+            fn(entry.first, *entry.second);
+    }
+
   private:
     std::map<Pasid, std::unique_ptr<PageTable>> spaces_;
 };

@@ -37,6 +37,12 @@ class FrameAllocator
     std::uint64_t allocatedFrames() const { return allocated_; }
     std::uint64_t freeFrames() const { return total_ - allocated_; }
 
+    /** @return true if @p pfn is currently allocated. */
+    bool isAllocated(Pfn pfn) const
+    {
+        return pfn < total_ && in_use_[pfn];
+    }
+
   private:
     std::uint64_t total_;
     std::uint64_t next_ = 0;       // Bump pointer.

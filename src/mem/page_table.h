@@ -63,6 +63,14 @@ class PageTable
     /** Number of mapped pages. */
     std::size_t numMapped() const { return map_.size(); }
 
+    /** Visit every (vpn, pfn) mapping (invariant-layer audit). */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const auto &entry : map_)
+            fn(entry.first, entry.second);
+    }
+
     /** Drop every mapping (process teardown). */
     void clear() { map_.clear(); }
 

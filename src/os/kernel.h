@@ -123,6 +123,18 @@ class Kernel : public SimObject, public CoreListener
     FrameAllocator &frames() { return frames_; }
     ProcStats &procInterrupts() { return proc_stats_; }
 
+    /** Every kernel-owned thread (kthreads + app threads; audit). */
+    const std::vector<std::unique_ptr<Thread>> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Every attached SSR driver, in attach order (audit). */
+    const std::vector<std::unique_ptr<SsrDriver>> &drivers() const
+    {
+        return drivers_;
+    }
+
     /** Aggregate SSR CPU time across all cores. */
     Tick totalSsrTicks() const;
 

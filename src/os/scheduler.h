@@ -84,6 +84,12 @@ class Scheduler : public SimObject
         return queues_[static_cast<std::size_t>(core)].size();
     }
 
+    /** A core's run queue, front = next to pop (invariant audit). */
+    const std::deque<Thread *> &queuedThreads(int core) const
+    {
+        return queues_[static_cast<std::size_t>(core)];
+    }
+
   private:
     CpuCore *placeThread(Thread *thread);
     Thread *popBest(int core_index);

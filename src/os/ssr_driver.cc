@@ -1,5 +1,6 @@
 #include "os/ssr_driver.h"
 
+#include "sim/check_hooks.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -29,7 +30,27 @@ SsrDriver::SsrDriver(SimContext &ctx, const std::string &name,
 void
 SsrDriver::queueToWorker(SsrRequest request, CpuCore &core)
 {
+    if (inject_drops_ > 0) {
+        // Test-only conservation bug: the request (and its
+        // completion callback) evaporates here.
+        --inject_drops_;
+        return;
+    }
     request.queued_at = core.now();
+    if (CheckHooks *checks = checkHooks()) {
+        checks->onSsrWorkQueued(&source_, request.id);
+        // Wrap the completion callback so the checker sees the
+        // request leave the pipeline. Only paid when armed.
+        auto inner = std::move(request.on_service_complete);
+        const void *src = &source_;
+        const std::uint64_t id = request.id;
+        request.on_service_complete =
+            [checks, src, id, inner = std::move(inner)](CpuCore &c) {
+                checks->onSsrCompleted(src, id);
+                if (inner)
+                    inner(c);
+            };
+    }
     work_queue_.push(services_.makeWorkItem(std::move(request)), &core);
 }
 
@@ -46,8 +67,11 @@ SsrDriver::makeInterrupt()
         std::vector<SsrRequest> drained = source_.drain();
         requests_drained_ += drained.size();
         const auto n = static_cast<Tick>(drained.size());
+        CheckHooks *checks = checkHooks();
         for (SsrRequest &request : drained) {
             request.drained_at = core.now();
+            if (checks)
+                checks->onSsrDrained(&source_, request.id);
             pending_.push_back(std::move(request));
         }
         Tick duration =

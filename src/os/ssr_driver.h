@@ -95,6 +95,18 @@ class SsrDriver : public SimObject
     /** Requests drained but not yet pre-processed (tests). */
     std::size_t pendingBottomHalf() const { return pending_.size(); }
 
+    /** The device queue this driver drains (invariant-layer key). */
+    const RequestSource *source() const { return &source_; }
+
+    /**
+     * Test-only fault injection: silently discard the next @p n
+     * requests at the bottom-half -> workqueue handoff, losing their
+     * completions. Exists to prove the invariant layer catches
+     * conservation bugs (tests/test_invariants.cc); never used by
+     * model code.
+     */
+    void injectRequestDrops(int n) { inject_drops_ += n; }
+
   private:
     /** Bottom-half kthread model: pre-process pending requests. */
     class BottomHalfModel : public ExecutionModel
@@ -126,6 +138,7 @@ class SsrDriver : public SimObject
     std::deque<SsrRequest> pending_;
     std::uint64_t interrupts_ = 0;
     std::uint64_t requests_drained_ = 0;
+    int inject_drops_ = 0;
 };
 
 } // namespace hiss

@@ -64,6 +64,7 @@ WorkQueue::pop(int core)
               name().c_str(), core);
     WorkItem item = std::move(queue.front());
     queue.pop_front();
+    ++in_service_;
     return item;
 }
 

@@ -24,6 +24,7 @@
 
 #include "os/scheduler.h"
 #include "os/thread.h"
+#include "sim/logging.h"
 #include "sim/sim_object.h"
 
 namespace hiss {
@@ -83,7 +84,23 @@ class WorkQueue : public SimObject
 
     std::uint64_t pushed() const { return pushed_; }
     std::uint64_t completed() const { return completed_; }
-    void noteCompleted() { ++completed_; }
+
+    /**
+     * Items popped by a kworker but not yet completed. Together with
+     * pushed/completed/totalDepth this closes the conservation
+     * identity pushed == completed + queued + in-service that the
+     * invariant layer checks at every sweep.
+     */
+    std::uint64_t inService() const { return in_service_; }
+
+    void noteCompleted()
+    {
+        if (in_service_ == 0)
+            panic("WorkQueue %s: completion without a popped item",
+                  name().c_str());
+        --in_service_;
+        ++completed_;
+    }
 
     /** Record queue latency (push -> service start). */
     void sampleLatency(Tick latency)
@@ -97,6 +114,7 @@ class WorkQueue : public SimObject
     std::vector<Thread *> workers_;
     std::uint64_t pushed_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t in_service_ = 0;
     Distribution &latency_;
 };
 

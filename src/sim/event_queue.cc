@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "sim/logging.h"
@@ -138,6 +139,70 @@ EventQueue::run()
 {
     while (step()) {
     }
+}
+
+std::string
+EventQueue::auditErrors() const
+{
+    char buf[160];
+    const auto fail = [&buf](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        return std::string(buf);
+    };
+
+    if (!std::is_heap(heap_.begin(), heap_.end(), EntryCompare{}))
+        return fail("heap property violated (%zu entries)",
+                    heap_.size());
+    if (heap_.size() != num_pending_ + dead_in_heap_)
+        return fail("heap size %zu != pending %zu + dead %zu",
+                    heap_.size(), num_pending_, dead_in_heap_);
+    if (num_pending_ + free_slots_.size() != slots_.size())
+        return fail("slot accounting: pending %zu + free %zu != "
+                    "table %zu",
+                    num_pending_, free_slots_.size(), slots_.size());
+
+    // Every slot must be referenced by exactly one live heap entry or
+    // sit on the free list — never both, never neither.
+    std::vector<std::uint8_t> live(slots_.size(), 0);
+    std::size_t dead_seen = 0;
+    for (const Entry &e : heap_) {
+        if (e.slot >= slots_.size())
+            return fail("heap entry references slot %u beyond table "
+                        "size %zu",
+                        e.slot, slots_.size());
+        if (e.when < now_)
+            return fail("entry at tick %llu is behind now %llu",
+                        static_cast<unsigned long long>(e.when),
+                        static_cast<unsigned long long>(now_));
+        if (dead(e)) {
+            ++dead_seen;
+            continue;
+        }
+        if (live[e.slot]++)
+            return fail("slot %u referenced by two live heap entries",
+                        e.slot);
+    }
+    if (dead_seen != dead_in_heap_)
+        return fail("dead entry count %zu != recorded %zu", dead_seen,
+                    dead_in_heap_);
+    for (const std::uint32_t slot : free_slots_) {
+        if (slot >= slots_.size())
+            return fail("free list references slot %u beyond table "
+                        "size %zu",
+                        slot, slots_.size());
+        if (live[slot] == 1)
+            return fail("slot %u is both live and on the free list",
+                        slot);
+        if (live[slot] == 2)
+            return fail("slot %u appears twice on the free list",
+                        slot);
+        live[slot] = 2;
+    }
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+        if (!live[slot])
+            return fail("slot %zu is neither live nor free", slot);
+    }
+    return {};
 }
 
 void

@@ -24,6 +24,7 @@
 #define HISS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/event_callback.h"
@@ -123,6 +124,16 @@ class EventQueue
 
     /** Slot-table capacity (bounded by peak concurrent events). */
     std::size_t slotTableSize() const { return slots_.size(); }
+
+    /**
+     * Exhaustive structural self-check for the invariant layer
+     * (src/check): heap ordering, time monotonicity (no entry behind
+     * `now`), slot/generation agreement, free-list consistency, and
+     * the pending/dead accounting identities. O(heap + slots).
+     * @return an empty string when consistent, else a description of
+     * the first violation found.
+     */
+    std::string auditErrors() const;
 
   private:
     /**

@@ -20,6 +20,7 @@
 namespace hiss {
 
 class TraceWriter;
+class CheckHooks;
 
 /** Shared simulation context handed to every SimObject. */
 struct SimContext
@@ -29,6 +30,8 @@ struct SimContext
     std::uint64_t seed = 1;
     /** Optional timeline writer (chrome://tracing); may be null. */
     TraceWriter *trace = nullptr;
+    /** Optional invariant-layer hooks (src/check); may be null. */
+    CheckHooks *checks = nullptr;
 };
 
 /** Base class for every simulated component. */
@@ -57,6 +60,9 @@ class SimObject
 
     /** The attached timeline writer, or nullptr. */
     TraceWriter *traceWriter() const { return ctx_.trace; }
+
+    /** The armed invariant-layer hooks, or nullptr (the common case). */
+    CheckHooks *checkHooks() const { return ctx_.checks; }
 
     /** Schedule a member callback after @p delay ticks. */
     EventId

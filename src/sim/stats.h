@@ -149,6 +149,16 @@ class StatRegistry
     /** Number of registered stats. */
     std::size_t size() const { return stats_.size(); }
 
+    /**
+     * Visit every registered stat in name order. Used by the
+     * invariant layer to snapshot and cross-check counters.
+     */
+    void forEach(const std::function<void(const Stat &)> &fn) const
+    {
+        for (const auto &entry : stats_)
+            fn(*entry.second);
+    }
+
     /** Reset every stat. */
     void resetAll();
 

@@ -48,6 +48,41 @@ TEST(Determinism, DifferentSeedsDiverge)
     EXPECT_NE(fingerprint(17), fingerprint(18));
 }
 
+/** Fingerprint a cancel-heavy run: adaptive coalescing + QoS + an
+ *  extra accelerator, invariant checks armed. */
+std::string
+cancelHeavyFingerprint(std::uint64_t seed)
+{
+    SystemConfig config;
+    config.seed = seed;
+    MitigationConfig mitigation;
+    mitigation.interrupt_coalescing = true;
+    mitigation.coalesce_window = usToTicks(9);
+    config.applyMitigations(mitigation);
+    config.iommu.adaptive_coalescing = true;
+    config.enableQos(0.05);
+    config.check_invariants = true;
+    HeteroSystem sys(config);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.addAccelerator().launch(gpu_suite::params("spmv"), true, true);
+    sys.runUntil(msToTicks(6));
+    sys.finalizeStats();
+    std::ostringstream os;
+    os << sys.now() << '\n';
+    sys.stats().dumpCsv(os);
+    return os.str();
+}
+
+TEST(Determinism, CancelHeavyQosRunsAreReproducible)
+{
+    // Adaptive coalescing cancels and re-arms the coalesce timer on
+    // every burst, and QoS backoff churns governor events — the
+    // event queue's slot-recycling hot path. Two runs must agree on
+    // every statistic, with invariant sweeps armed throughout.
+    EXPECT_EQ(cancelHeavyFingerprint(23), cancelHeavyFingerprint(23));
+    EXPECT_NE(cancelHeavyFingerprint(23), cancelHeavyFingerprint(24));
+}
+
 TEST(Conservation, CoreTimePartitionsTheRun)
 {
     SystemConfig config;

@@ -134,5 +134,59 @@ TEST(ExperimentBatch, WorkerExceptionsPropagate)
     EXPECT_THROW(ExperimentBatch(1).run(cells), FatalError);
 }
 
+TEST(ExperimentBatch, RunCatchingCapturesPerCellOutcomes)
+{
+    std::vector<ExperimentCell> cells = testGrid();
+    cells.resize(3);
+    cells[1].cpu_app = "not-a-benchmark";
+    const std::vector<CellOutcome> outcomes =
+        ExperimentBatch(2).runCatching(cells);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("not-a-benchmark"),
+              std::string::npos)
+        << outcomes[1].error;
+    EXPECT_TRUE(outcomes[2].ok);
+    // Successful outcomes match the serial runner bit-identically.
+    expectIdentical(outcomes[0].result,
+                    ExperimentRunner::run(cells[0].cpu_app,
+                                          cells[0].gpu_app,
+                                          cells[0].config,
+                                          cells[0].mode));
+}
+
+TEST(ExperimentBatch, CancelHeavyQosGridIsBitIdenticalAcrossJobs)
+{
+    // The event-queue cancel storm: adaptive coalescing re-arms the
+    // coalesce timer on every PPR burst, QoS backoff churns governor
+    // events, and extra accelerators multiply the streams. Results
+    // must stay bit-identical at any job count, with the invariant
+    // layer armed throughout.
+    SystemConfig base;
+    base.iommu.adaptive_coalescing = true;
+    std::vector<ExperimentCell> cells;
+    for (const std::uint64_t seed : {91u, 92u, 93u}) {
+        ExperimentConfig config = fastConfig(seed);
+        config.mitigation.interrupt_coalescing = true;
+        config.mitigation.coalesce_window = usToTicks(9);
+        config.qos_threshold = 0.05;
+        config.extra_accelerators = 2;
+        config.check_invariants = true;
+        config.base_system = &base;
+        cells.push_back({"swaptions", "ubench", config,
+                         MeasureMode::CpuPrimary, 1});
+    }
+    const std::vector<RunResult> one = ExperimentBatch(1).run(cells);
+    const std::vector<RunResult> four = ExperimentBatch(4).run(cells);
+    const std::vector<RunResult> sixteen =
+        ExperimentBatch(16).run(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        expectIdentical(one[i], four[i]);
+        expectIdentical(one[i], sixteen[i]);
+    }
+}
+
 } // namespace
 } // namespace hiss

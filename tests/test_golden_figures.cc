@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden figure pins: end-to-end regression anchors for the paper's
+ * headline results at seed 1.
+ *
+ * Each test pins a figure-level observable with an explicit
+ * tolerance — wide enough to survive benign model retunes, tight
+ * enough that a broken SSR path, mitigation, or QoS governor moves
+ * the value out of band. When an intentional model change shifts a
+ * number, re-derive the pin (tools/hiss_sim prints every observable)
+ * and update the constant with the change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hiss.h"
+
+namespace hiss {
+namespace {
+
+RunResult
+cpuPrimary(const char *cpu, double qos, bool demand_paging)
+{
+    ExperimentConfig config;
+    config.seed = 1;
+    config.qos_threshold = qos;
+    config.gpu_demand_paging = demand_paging;
+    return ExperimentRunner::run(cpu, "ubench", config,
+                                 MeasureMode::CpuPrimary);
+}
+
+RunResult
+ubenchRate(const MitigationConfig &m)
+{
+    ExperimentConfig config;
+    config.seed = 1;
+    config.mitigation = m;
+    config.rate_window = msToTicks(8);
+    return ExperimentRunner::run("", "ubench", config,
+                                 MeasureMode::GpuOnly);
+}
+
+/** Fig. 3a: CPU slowdown under sustained ubench SSR interference. */
+TEST(GoldenFigures, Fig3aCpuSlowdowns)
+{
+    // Golden values at seed 1: x264 1.579x, swaptions 1.738x
+    // (interfered runtime / pinned-memory baseline runtime).
+    const RunResult x264_base = cpuPrimary("x264", 0.0, false);
+    const RunResult x264 = cpuPrimary("x264", 0.0, true);
+    ASSERT_GT(x264_base.cpu_runtime_ms, 0.0);
+    const double x264_slowdown =
+        x264.cpu_runtime_ms / x264_base.cpu_runtime_ms;
+    EXPECT_NEAR(x264_slowdown, 1.579, 0.11);
+
+    const RunResult swap_base = cpuPrimary("swaptions", 0.0, false);
+    const RunResult swap = cpuPrimary("swaptions", 0.0, true);
+    ASSERT_GT(swap_base.cpu_runtime_ms, 0.0);
+    const double swap_slowdown =
+        swap.cpu_runtime_ms / swap_base.cpu_runtime_ms;
+    EXPECT_NEAR(swap_slowdown, 1.738, 0.12);
+
+    // The pinned-memory baseline generates no SSR work at all.
+    EXPECT_EQ(x264_base.faults_resolved, 0u);
+    EXPECT_EQ(x264_base.ssr_interrupts, 0u);
+}
+
+/** Fig. 6: each mitigation moves its own observable the right way. */
+TEST(GoldenFigures, Fig6MitigationOrdering)
+{
+    const RunResult none = ubenchRate(MitigationConfig{});
+
+    // Monolithic bottom half removes the IPI/scheduling hop, so the
+    // GPU's SSR throughput improves (golden: 414.5k vs 387.9k /s).
+    MitigationConfig mono;
+    mono.monolithic_bottom_half = true;
+    EXPECT_GT(ubenchRate(mono).gpu_ssr_rate, none.gpu_ssr_rate);
+
+    // Coalescing batches PPRs behind one MSI: far fewer interrupts
+    // (golden: 468 vs 2705 MSIs) at some throughput cost.
+    MitigationConfig coalesce;
+    coalesce.interrupt_coalescing = true;
+    const RunResult coal = ubenchRate(coalesce);
+    EXPECT_LT(coal.msis_raised, none.msis_raised / 2);
+    EXPECT_LT(coal.gpu_ssr_rate, none.gpu_ssr_rate);
+
+    // Steering concentrates every SSR interrupt on the chosen core,
+    // where the default policy spreads them round-robin.
+    MitigationConfig steer;
+    steer.steer_to_single_core = true;
+    steer.steer_core = 2;
+    const RunResult steered = ubenchRate(steer);
+    ASSERT_GT(steered.ssr_irqs_per_core.size(), 2u);
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : steered.ssr_irqs_per_core)
+        total += n;
+    ASSERT_GT(total, 0u);
+    EXPECT_GE(steered.ssr_irqs_per_core[2], total * 9 / 10);
+    // Unsteered, no single core sees more than half the interrupts.
+    std::uint64_t spread_total = 0;
+    std::uint64_t spread_max = 0;
+    for (const std::uint64_t n : none.ssr_irqs_per_core) {
+        spread_total += n;
+        spread_max = std::max(spread_max, n);
+    }
+    EXPECT_LT(spread_max, spread_total / 2);
+}
+
+/** Fig. 12: the QoS governor holds the SSR CPU-time budget. */
+TEST(GoldenFigures, Fig12QosSsrCpuFraction)
+{
+    // Golden fractions at seed 1: unthrottled 0.327, th=0.01 -> 0.022,
+    // th=0.25 -> 0.217. The governor is coarse (it samples and backs
+    // off), so the tight threshold lands near 2% rather than 1% —
+    // pinned as-is with tolerance.
+    const RunResult open = cpuPrimary("x264", 0.0, true);
+    EXPECT_NEAR(open.ssr_cpu_fraction, 0.327, 0.025);
+
+    const RunResult tight = cpuPrimary("x264", 0.01, true);
+    EXPECT_GT(tight.ssr_cpu_fraction, 0.0);
+    EXPECT_NEAR(tight.ssr_cpu_fraction, 0.022, 0.012);
+
+    const RunResult loose = cpuPrimary("x264", 0.25, true);
+    EXPECT_NEAR(loose.ssr_cpu_fraction, 0.217, 0.035);
+
+    // Monotone in the threshold, and throttling must actually help
+    // the CPU app versus the unthrottled run.
+    EXPECT_LT(tight.ssr_cpu_fraction, loose.ssr_cpu_fraction);
+    EXPECT_LT(loose.ssr_cpu_fraction, open.ssr_cpu_fraction);
+    EXPECT_LT(tight.cpu_runtime_ms, open.cpu_runtime_ms);
+}
+
+} // namespace
+} // namespace hiss

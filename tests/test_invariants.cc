@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the runtime invariant layer (src/check).
+ *
+ * The load-bearing case is fault injection: a deliberately dropped
+ * PPR work item (SsrDriver::injectRequestDrops) must be caught by
+ * the SSR conservation sweep — in both the threaded and monolithic
+ * bottom-half modes — while a clean run sweeps repeatedly without
+ * firing and produces bit-identical results to an unchecked run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/invariants.h"
+#include "core/hiss.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace hiss {
+namespace {
+
+SystemConfig
+checkedConfig(std::uint64_t seed)
+{
+    SystemConfig config;
+    config.seed = seed;
+    config.check_invariants = true;
+    config.check_period = usToTicks(20);
+    return config;
+}
+
+TEST(Invariants, CleanRunSweepsAndPasses)
+{
+    HeteroSystem sys(checkedConfig(7));
+    ASSERT_NE(sys.checkMonitor(), nullptr);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    EXPECT_NO_THROW(sys.runUntil(msToTicks(3)));
+    EXPECT_NO_THROW(sys.finalizeStats());
+    EXPECT_GT(sys.checkMonitor()->sweeps(), 0u);
+    EXPECT_GT(sys.checkMonitor()->checksRun(), 0u);
+}
+
+TEST(Invariants, CatchesDroppedRequest)
+{
+    // The acceptance fault: a PPR silently discarded between the top
+    // and bottom half. Conservation must notice at the next sweep.
+    HeteroSystem sys(checkedConfig(7));
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.ssrDriver().injectRequestDrops(1);
+    EXPECT_THROW(sys.runUntil(msToTicks(5)), check::InvariantError);
+}
+
+TEST(Invariants, CatchesDroppedRequestInMonolithicMode)
+{
+    SystemConfig config = checkedConfig(9);
+    config.ssr_driver.monolithic_bottom_half = true;
+    HeteroSystem sys(config);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.ssrDriver().injectRequestDrops(1);
+    EXPECT_THROW(sys.runUntil(msToTicks(5)), check::InvariantError);
+}
+
+TEST(Invariants, UnarmedRunIgnoresTheFault)
+{
+    // With checks off there is no monitor, no hooks, and therefore
+    // no detection: the documented cost model (a single null-pointer
+    // branch per hook site) leaves nothing armed.
+    SystemConfig config;
+    config.seed = 7;
+    config.check_invariants = false;
+    HeteroSystem sys(config);
+    EXPECT_EQ(sys.checkMonitor(), nullptr);
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.ssrDriver().injectRequestDrops(1);
+    EXPECT_NO_THROW(sys.runUntil(msToTicks(5)));
+}
+
+TEST(Invariants, ViolationMessageNamesTickAndSeed)
+{
+    HeteroSystem sys(checkedConfig(11));
+    sys.launchGpu(gpu_suite::params("ubench"), true, true);
+    sys.ssrDriver().injectRequestDrops(1);
+    try {
+        sys.runUntil(msToTicks(5));
+        FAIL() << "expected an InvariantError";
+    } catch (const check::InvariantError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("invariant violation"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("seed 11"), std::string::npos) << what;
+    }
+}
+
+TEST(Invariants, ArmedChecksDoNotPerturbResults)
+{
+    const auto fingerprint = [](bool check) {
+        SystemConfig config = checkedConfig(21);
+        config.check_invariants = check;
+        HeteroSystem sys(config);
+        sys.launchGpu(gpu_suite::params("spmv"), true, true);
+        sys.runUntil(msToTicks(3));
+        sys.finalizeStats();
+        std::ostringstream os;
+        sys.stats().dumpCsv(os);
+        return os.str();
+    };
+    EXPECT_EQ(fingerprint(true), fingerprint(false));
+}
+
+TEST(Invariants, ExperimentConfigArmsTheMonitor)
+{
+    // The monitor rejects a zero sweep period at construction, so
+    // reaching that fatal proves ExperimentConfig::check_invariants
+    // arms the layer through ExperimentRunner — and that leaving it
+    // false never consults the period at all.
+    SystemConfig base;
+    base.check_period = 0;
+    ExperimentConfig config;
+    config.check_invariants = true;
+    config.base_system = &base;
+    config.rate_window = msToTicks(1);
+    EXPECT_THROW(ExperimentRunner::run("", "ubench", config,
+                                       MeasureMode::GpuOnly),
+                 FatalError);
+    config.check_invariants = false;
+    EXPECT_NO_THROW(ExperimentRunner::run("", "ubench", config,
+                                          MeasureMode::GpuOnly));
+}
+
+TEST(Invariants, EventQueueAuditCleanUnderChurn)
+{
+    // Exercise the slot-recycling paths the audit covers: schedule,
+    // cancel (lazy heap deletion), and free-list reuse.
+    EventQueue queue;
+    Rng rng(42, "audit.test");
+    std::vector<EventId> ids;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 20; ++i)
+            ids.push_back(queue.schedule(
+                queue.now() + rng.uniformInt(1, 5000), [] {}));
+        for (std::size_t i = 0; i < ids.size(); i += 3)
+            queue.cancel(ids[i]);
+        queue.runUntil(queue.now() + 1000);
+        ASSERT_EQ(queue.auditErrors(), "") << "round " << round;
+    }
+    queue.run();
+    EXPECT_EQ(queue.auditErrors(), "");
+}
+
+} // namespace
+} // namespace hiss

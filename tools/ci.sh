@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI sweep: configure and build each CMake preset, run the
+# tier-1 test suite, then the randomized fuzz corpus (ctest -L fuzz).
+#
+# Usage: tools/ci.sh [preset...]   (default: default check asan tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+    presets=(default check asan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for p in "${presets[@]}"; do
+    echo "=== preset: $p ==="
+    cmake --preset "$p"
+    cmake --build --preset "$p" -j "$jobs"
+    ctest --test-dir "build-$p" --output-on-failure -j "$jobs" -LE fuzz
+    ctest --test-dir "build-$p" --output-on-failure -L fuzz
+done
+
+echo "ci: all presets green (${presets[*]})"

@@ -15,8 +15,11 @@
  *   hiss_sim --cpu x264 --gpu sssp --reps 8 --jobs 4
  */
 
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,9 +42,12 @@ struct Options
     bool demand_paging = true;
     bool loop_gpu = false;
     int extra_accelerators = 0;
+    int cores = 0; // 0 = testbed default (Table II: 4).
+    bool check = false;
     bool steer = false;
     int steer_core = 0;
     double coalesce_us = -1.0;
+    bool adaptive_coalesce = false;
     bool monolithic = false;
     double qos_threshold = 0.0;
     ThrottlePolicy qos_policy = ThrottlePolicy::ExponentialBackoff;
@@ -74,6 +80,7 @@ usage()
         "Mitigations (paper Section V):\n"
         "  --steer [core]       MSI steering to a single core\n"
         "  --coalesce [us]      interrupt coalescing (default 13 us)\n"
+        "  --adaptive-coalesce  rate-adaptive coalescing window\n"
         "  --monolithic         monolithic bottom-half handler\n"
         "\n"
         "QoS (paper Section VI):\n"
@@ -81,6 +88,8 @@ usage()
         "  --qos-policy P       backoff (paper) or bucket\n"
         "\n"
         "Run control and output:\n"
+        "  --cores N            CPU core count (default 4, Table II)\n"
+        "  --check              arm the runtime invariant layer\n"
         "  --duration ms        fixed window (default: CPU app end)\n"
         "  --seed N             experiment seed (default 1)\n"
         "  --reps N             average N runs, seeds seed..seed+N-1\n"
@@ -92,6 +101,50 @@ usage()
         "  --proc-interrupts    print the /proc/interrupts mirror\n"
         "  --describe           print the system configuration\n"
         "  --list               list available workloads\n");
+}
+
+/**
+ * Strict numeric parsing: the whole token must convert and land in
+ * range, otherwise the flag dies with a FatalError instead of
+ * silently running atoi()'s best guess (e.g. "--reps 1e3" -> 1).
+ */
+long long
+parseInt(const char *flag, const char *text, long long lo, long long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal("%s: '%s' is not an integer", flag, text);
+    if (value < lo || value > hi)
+        fatal("%s: %lld is out of range [%lld, %lld]", flag, value, lo,
+              hi);
+    return value;
+}
+
+std::uint64_t
+parseSeed(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE
+        || text[0] == '-')
+        fatal("%s: '%s' is not a valid seed", flag, text);
+    return value;
+}
+
+double
+parseReal(const char *flag, const char *text, double lo, double hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal("%s: '%s' is not a number", flag, text);
+    if (!(value >= lo && value <= hi))
+        fatal("%s: %g is out of range [%g, %g]", flag, value, lo, hi);
+    return value;
 }
 
 bool
@@ -139,24 +192,29 @@ parseArgs(int argc, char **argv, Options &opt)
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--accelerators needs a value");
-            opt.extra_accelerators = std::atoi(v) - 1;
-            if (opt.extra_accelerators < 0)
-                fatal("--accelerators must be >= 1");
+            opt.extra_accelerators = static_cast<int>(
+                parseInt("--accelerators", v, 1, 64)) - 1;
         } else if (arg == "--steer") {
             opt.steer = true;
             if (const char *v = optional_value(i))
-                opt.steer_core = std::atoi(v);
+                opt.steer_core = static_cast<int>(
+                    parseInt("--steer", v, 0, 255));
         } else if (arg == "--coalesce") {
             opt.coalesce_us = 13.0;
             if (const char *v = optional_value(i))
-                opt.coalesce_us = std::atof(v);
+                opt.coalesce_us =
+                    parseReal("--coalesce", v, 1e-3, 1e4);
+        } else if (arg == "--adaptive-coalesce") {
+            opt.adaptive_coalesce = true;
         } else if (arg == "--monolithic") {
             opt.monolithic = true;
         } else if (arg == "--qos") {
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--qos needs a threshold");
-            opt.qos_threshold = std::atof(v);
+            opt.qos_threshold = parseReal("--qos", v, 0.0, 1.0);
+            if (opt.qos_threshold <= 0.0)
+                fatal("--qos: threshold must be in (0, 1]");
         } else if (arg == "--qos-policy") {
             const char *v = need_value(i);
             if (v == nullptr)
@@ -167,28 +225,36 @@ parseArgs(int argc, char **argv, Options &opt)
                 opt.qos_policy = ThrottlePolicy::TokenBucket;
             else
                 fatal("unknown qos policy: %s", v);
+        } else if (arg == "--cores") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--cores needs a value");
+            opt.cores = static_cast<int>(
+                parseInt("--cores", v, 1, 256));
+        } else if (arg == "--check") {
+            opt.check = true;
         } else if (arg == "--duration") {
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--duration needs a value");
-            opt.duration_ms = std::atof(v);
+            opt.duration_ms = parseReal("--duration", v, 1e-6, 1e6);
         } else if (arg == "--seed") {
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--seed needs a value");
-            opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+            opt.seed = parseSeed("--seed", v);
         } else if (arg == "--reps") {
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--reps needs a value");
-            opt.reps = std::atoi(v);
-            if (opt.reps < 1)
-                fatal("--reps must be >= 1");
+            opt.reps = static_cast<int>(
+                parseInt("--reps", v, 1, 1'000'000));
         } else if (arg == "--jobs") {
             const char *v = need_value(i);
             if (v == nullptr)
                 fatal("--jobs needs a value");
-            opt.jobs = std::atoi(v);
+            opt.jobs = static_cast<int>(
+                parseInt("--jobs", v, 0, 4096));
         } else if (arg == "--stats") {
             const char *v = need_value(i);
             if (v == nullptr)
@@ -214,6 +280,18 @@ parseArgs(int argc, char **argv, Options &opt)
             fatal("unknown argument: %s (try --help)", arg.c_str());
         }
     }
+
+    // Cross-flag sanity. Repetitions use seeds seed..seed+reps-1, so
+    // the range must neither wrap nor reuse a seed.
+    if (opt.reps > 1
+        && opt.seed > UINT64_MAX
+               - (static_cast<std::uint64_t>(opt.reps) - 1))
+        fatal("--seed %llu with --reps %d overflows the seed space",
+              static_cast<unsigned long long>(opt.seed), opt.reps);
+    const int cores = opt.cores > 0 ? opt.cores : SystemConfig{}.num_cores;
+    if (opt.steer && opt.steer_core >= cores)
+        fatal("--steer %d: core out of range (system has %d cores)",
+              opt.steer_core, cores);
     return true;
 }
 
@@ -260,8 +338,21 @@ runAveraged(const Options &opt)
     config.mitigation.monolithic_bottom_half = opt.monolithic;
     config.qos_threshold = opt.qos_threshold;
     config.gpu_demand_paging = opt.demand_paging;
+    config.check_invariants = opt.check;
     if (opt.duration_ms > 0.0)
         config.rate_window = msToTicks(opt.duration_ms);
+
+    // The base testbed must outlive the batch: cells only keep the
+    // pointer. runAveraged blocks until every repetition finishes, so
+    // a stack-local SystemConfig is safe here. It carries the options
+    // ExperimentConfig cannot express: core count, the adaptive
+    // coalescing mode, and the QoS throttle policy.
+    SystemConfig base;
+    if (opt.cores > 0)
+        base.num_cores = opt.cores;
+    base.iommu.adaptive_coalescing = opt.adaptive_coalesce;
+    base.kernel.qos.policy = opt.qos_policy;
+    config.base_system = &base;
 
     const std::string cpu_app =
         opt.cpu_apps.empty() ? "" : opt.cpu_apps.front();
@@ -319,6 +410,10 @@ run(const Options &opt)
 
     SystemConfig config;
     config.seed = opt.seed;
+    if (opt.cores > 0)
+        config.num_cores = opt.cores;
+    if (opt.check)
+        config.check_invariants = true;
     MitigationConfig mitigation;
     mitigation.steer_to_single_core = opt.steer;
     mitigation.steer_core = opt.steer_core;
@@ -327,6 +422,7 @@ run(const Options &opt)
         mitigation.coalesce_window = usToTicks(opt.coalesce_us);
     mitigation.monolithic_bottom_half = opt.monolithic;
     config.applyMitigations(mitigation);
+    config.iommu.adaptive_coalescing = opt.adaptive_coalesce;
     if (opt.qos_threshold > 0.0) {
         config.enableQos(opt.qos_threshold);
         config.kernel.qos.policy = opt.qos_policy;
@@ -460,7 +556,10 @@ main(int argc, char **argv)
             return 0;
         return run(opt);
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "hiss_sim: %s\n", e.what());
+        // Always name the active seed so a failing run — invariant
+        // violation or fatal() — can be reproduced verbatim.
+        std::fprintf(stderr, "hiss_sim: %s (seed %llu)\n", e.what(),
+                     static_cast<unsigned long long>(opt.seed));
         return 1;
     }
 }
