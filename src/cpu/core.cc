@@ -231,17 +231,20 @@ CpuCore::beginRunBurst(const BurstRequest &request)
 
     // Drive this burst's footprint sample through the live
     // microarchitectural state and measure the rates it experienced.
+    // Batched substrate path: generate the whole sample into the
+    // core's scratch buffers, then run the L1D/BP batch kernels over
+    // it — draw order and results bit-identical to the scalar loops.
     double sample_miss_rate = 0.0;
     double sample_mispredict_rate = 0.0;
     if (request.astream != nullptr && request.mem_accesses > 0) {
-        const std::uint64_t acc0 = l1d_.accesses();
-        const std::uint64_t mis0 = l1d_.misses();
-        for (std::uint32_t i = 0; i < request.mem_accesses; ++i)
-            l1d_.access(request.astream->next());
-        const std::uint64_t dacc = l1d_.accesses() - acc0;
-        const std::uint64_t dmis = l1d_.misses() - mis0;
-        sample_miss_rate = dacc == 0
-            ? 0.0 : static_cast<double>(dmis) / static_cast<double>(dacc);
+        const std::uint32_t dacc = request.mem_accesses;
+        if (addr_scratch_.size() < dacc)
+            addr_scratch_.resize(dacc);
+        request.astream->fill(addr_scratch_.data(), dacc);
+        const std::uint64_t dmis =
+            l1d_.accessBatch(addr_scratch_.data(), dacc);
+        sample_miss_rate =
+            static_cast<double>(dmis) / static_cast<double>(dacc);
         if (!request.kernel_mode) {
             user_l1d_accesses_ += dacc;
             user_l1d_misses_ += dmis;
@@ -254,16 +257,14 @@ CpuCore::beginRunBurst(const BurstRequest &request)
         driveKernelFootprint(request.mem_accesses, request.branches);
     }
     if (request.bstream != nullptr && request.branches > 0) {
-        const std::uint64_t lk0 = bp_.lookups();
-        const std::uint64_t mp0 = bp_.mispredicts();
-        for (std::uint32_t i = 0; i < request.branches; ++i) {
-            const BranchStream::Outcome out = request.bstream->next();
-            bp_.predictAndUpdate(out.pc, out.taken);
-        }
-        const std::uint64_t dlk = bp_.lookups() - lk0;
-        const std::uint64_t dmp = bp_.mispredicts() - mp0;
-        sample_mispredict_rate = dlk == 0
-            ? 0.0 : static_cast<double>(dmp) / static_cast<double>(dlk);
+        const std::uint32_t dlk = request.branches;
+        if (branch_scratch_.size() < dlk)
+            branch_scratch_.resize(dlk);
+        request.bstream->fill(branch_scratch_.data(), dlk);
+        const std::uint64_t dmp =
+            bp_.predictBatch(branch_scratch_.data(), dlk);
+        sample_mispredict_rate =
+            static_cast<double>(dmp) / static_cast<double>(dlk);
         if (!request.kernel_mode) {
             user_branches_ += dlk;
             user_branch_misses_ += dmp;
@@ -466,11 +467,17 @@ CpuCore::driveKernelFootprint(std::uint32_t accesses,
     };
     const std::uint32_t acc = scaled(accesses);
     const std::uint32_t br = scaled(branches);
-    for (std::uint32_t i = 0; i < acc; ++i)
-        l1d_.access(kernel_astream_.next());
-    for (std::uint32_t i = 0; i < br; ++i) {
-        const BranchStream::Outcome out = kernel_bstream_.next();
-        bp_.predictAndUpdate(out.pc, out.taken);
+    if (acc > 0) {
+        if (addr_scratch_.size() < acc)
+            addr_scratch_.resize(acc);
+        kernel_astream_.fill(addr_scratch_.data(), acc);
+        l1d_.accessBatch(addr_scratch_.data(), acc);
+    }
+    if (br > 0) {
+        if (branch_scratch_.size() < br)
+            branch_scratch_.resize(br);
+        kernel_bstream_.fill(branch_scratch_.data(), br);
+        bp_.predictBatch(branch_scratch_.data(), br);
     }
 }
 

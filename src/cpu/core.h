@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "mem/address_stream.h"
 #include "mem/branch_predictor.h"
@@ -275,6 +276,12 @@ class CpuCore : public SimObject
     /** Kernel-code streams shared by all handlers on this core. */
     AddressStream kernel_astream_;
     BranchStream kernel_bstream_;
+
+    /** Reusable burst-sample buffers for the batched substrate path
+     *  (filled by the streams, consumed by the L1D/BP batch kernels;
+     *  sized to the largest footprint seen, never shrunk). */
+    std::vector<Addr> addr_scratch_;
+    std::vector<BranchStream::Outcome> branch_scratch_;
 
     CoreState state_ = CoreState::Idle;
     Thread *current_ = nullptr;

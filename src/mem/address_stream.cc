@@ -16,30 +16,42 @@ AddressStream::AddressStream(const MemoryProfile &profile, Addr base,
         fatal("AddressStream: hot_fraction out of [0,1]");
 }
 
-Addr
-AddressStream::next()
+void
+AddressStream::fill(Addr *buf, std::size_t n)
 {
     constexpr Addr line = 64;
-    if (profile_.hot_set_bytes > 0
-        && rng_.withProbability(profile_.hot_fraction)) {
-        // Hot access: uniform within the hot subset.
-        const std::uint64_t lines = profile_.hot_set_bytes / line;
+    const Addr base = base_;
+    const std::uint64_t hot_lines = profile_.hot_set_bytes / line;
+    const std::uint64_t cold_lines = profile_.working_set_bytes / line;
+    const Addr wrap = base + profile_.working_set_bytes;
+    const double hot_fraction = profile_.hot_fraction;
+    const double stride_fraction = profile_.stride_fraction;
+    const bool has_hot = profile_.hot_set_bytes > 0;
+    Addr cursor = cursor_;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (has_hot && rng_.withProbability(hot_fraction)) {
+            // Hot access: uniform within the hot subset.
+            const std::uint64_t pick =
+                hot_lines <= 1 ? 0 : rng_.uniformInt(0, hot_lines - 1);
+            buf[i] = base + pick * line;
+            continue;
+        }
+        // Cold access: sequential walk with probability
+        // stride_fraction, else uniform within the full working set.
+        if (rng_.withProbability(stride_fraction)) {
+            cursor += line;
+            if (cursor >= wrap)
+                cursor = base;
+            buf[i] = cursor;
+            continue;
+        }
         const std::uint64_t pick =
-            lines <= 1 ? 0 : rng_.uniformInt(0, lines - 1);
-        return base_ + pick * line;
+            cold_lines <= 1 ? 0 : rng_.uniformInt(0, cold_lines - 1);
+        buf[i] = base + pick * line;
     }
-    // Cold access: sequential walk with probability stride_fraction,
-    // else uniform within the full working set.
-    if (rng_.withProbability(profile_.stride_fraction)) {
-        cursor_ += line;
-        if (cursor_ >= base_ + profile_.working_set_bytes)
-            cursor_ = base_;
-        return cursor_;
-    }
-    const std::uint64_t lines = profile_.working_set_bytes / line;
-    const std::uint64_t pick =
-        lines <= 1 ? 0 : rng_.uniformInt(0, lines - 1);
-    return base_ + pick * line;
+
+    cursor_ = cursor;
 }
 
 BranchStream::BranchStream(const BranchProfile &profile, Addr pc_base,
@@ -58,18 +70,25 @@ BranchStream::BranchStream(const BranchProfile &profile, Addr pc_base,
             rng_.uniformReal(profile.bias_min, profile.bias_max));
 }
 
-BranchStream::Outcome
-BranchStream::next()
+void
+BranchStream::fill(Outcome *buf, std::size_t n)
 {
-    const std::uint32_t site = static_cast<std::uint32_t>(
-        rng_.uniformInt(0, biases_.size() - 1));
-    const Addr pc = pc_base_ + static_cast<Addr>(site) * 16;
-    bool taken;
-    if (rng_.withProbability(profile_.pattern_noise))
-        taken = rng_.withProbability(0.5);
-    else
-        taken = rng_.withProbability(biases_[site]);
-    return Outcome{pc, taken};
+    const Addr pc_base = pc_base_;
+    const double noise = profile_.pattern_noise;
+    const double *const biases = biases_.data();
+    const std::uint64_t num_sites = biases_.size();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto site = static_cast<std::uint32_t>(
+            rng_.uniformInt(0, num_sites - 1));
+        const Addr pc = pc_base + static_cast<Addr>(site) * 16;
+        bool taken;
+        if (rng_.withProbability(noise))
+            taken = rng_.withProbability(0.5);
+        else
+            taken = rng_.withProbability(biases[site]);
+        buf[i] = Outcome{pc, taken};
+    }
 }
 
 } // namespace hiss

@@ -8,14 +8,22 @@
  * samples of these streams through its structural L1D and branch
  * predictor each execution slice, so cache behaviour (and pollution
  * by kernel handlers sharing the structures) is emergent.
+ *
+ * The batched fill() generators produce a whole burst sample into a
+ * caller-owned buffer in one call, with the Rng helpers inlined into
+ * the loop. They draw *exactly* the sequence the scalar next() loop
+ * would — element i of a fill is bit-identical to the i-th next() —
+ * which is the substrate determinism contract (docs/TESTING.md).
  */
 
 #ifndef HISS_MEM_ADDRESS_STREAM_H_
 #define HISS_MEM_ADDRESS_STREAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "mem/branch_predictor.h"
 #include "mem/cache.h"
 #include "sim/random.h"
 
@@ -62,7 +70,20 @@ class AddressStream
                   std::uint64_t seed);
 
     /** Next access address. */
-    Addr next();
+    Addr
+    next()
+    {
+        Addr addr;
+        fill(&addr, 1);
+        return addr;
+    }
+
+    /**
+     * Generate the next @p n addresses into @p buf — bit-identical
+     * to n consecutive next() calls, but with the generator loop in
+     * one call frame.
+     */
+    void fill(Addr *buf, std::size_t n);
 
     const MemoryProfile &profile() const { return profile_; }
     Addr base() const { return base_; }
@@ -78,12 +99,8 @@ class AddressStream
 class BranchStream
 {
   public:
-    /** A single dynamic branch outcome. */
-    struct Outcome
-    {
-        Addr pc;
-        bool taken;
-    };
+    /** A single dynamic branch outcome (predictor input type). */
+    using Outcome = BranchOutcome;
 
     /**
      * @param profile control-flow parameters.
@@ -94,7 +111,19 @@ class BranchStream
                  std::uint64_t seed);
 
     /** Next dynamic branch. */
-    Outcome next();
+    Outcome
+    next()
+    {
+        Outcome out;
+        fill(&out, 1);
+        return out;
+    }
+
+    /**
+     * Generate the next @p n outcomes into @p buf — bit-identical to
+     * n consecutive next() calls.
+     */
+    void fill(Outcome *buf, std::size_t n);
 
     const BranchProfile &profile() const { return profile_; }
 

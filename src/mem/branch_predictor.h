@@ -6,17 +6,34 @@
  * counters. Like the cache model, one instance per core is shared by
  * user and kernel control flow so that SSR handlers pollute the
  * pattern table and history (paper Fig. 5b).
+ *
+ * predictBatch() is the hot entry point — one call per burst sample —
+ * and is observably identical, branch by branch, to calling
+ * predictAndUpdate() in a loop (enforced by SubstrateBatch.* in
+ * ctest).
  */
 
 #ifndef HISS_MEM_BRANCH_PREDICTOR_H_
 #define HISS_MEM_BRANCH_PREDICTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "mem/cache.h" // for Addr
 
 namespace hiss {
+
+/**
+ * A single dynamic branch: site PC and actual direction. Produced by
+ * BranchStream (which aliases it as BranchStream::Outcome) and
+ * consumed by BranchPredictor::predictBatch.
+ */
+struct BranchOutcome
+{
+    Addr pc;
+    bool taken;
+};
 
 /** Parameters for the gshare predictor. */
 struct BranchPredictorParams
@@ -37,6 +54,19 @@ class BranchPredictor
      * @return true if the prediction was correct.
      */
     bool predictAndUpdate(Addr pc, bool taken);
+
+    /**
+     * Predict-and-update @p n outcomes in order — exactly equivalent
+     * to calling predictAndUpdate() on each element, but keeps the
+     * history register and counters in locals across the batch.
+     *
+     * @param correct_out optional per-branch results (1 = correct
+     *                    prediction), length n.
+     * @return the number of mispredictions in the batch.
+     */
+    std::uint64_t predictBatch(const BranchOutcome *outcomes,
+                               std::size_t n,
+                               std::uint8_t *correct_out = nullptr);
 
     /** Prediction without state update (for inspection in tests). */
     bool predict(Addr pc) const;
@@ -60,11 +90,23 @@ class BranchPredictor
     /** Reset tables, history, and counters. */
     void reset();
 
+    /**
+     * Order-sensitive digest of the predictor state (pattern table
+     * and global history); used by the batch-vs-scalar equivalence
+     * property tests.
+     */
+    std::uint64_t stateHash() const;
+
   private:
+    template <bool Record>
+    std::uint64_t predictRun(const BranchOutcome *outcomes,
+                             std::size_t n, std::uint8_t *correct_out);
+
     std::uint32_t index(Addr pc) const;
 
     BranchPredictorParams params_;
     std::uint32_t mask_;
+    std::uint32_t hist_mask_;
     std::uint32_t history_ = 0;
     std::vector<std::uint8_t> table_; // 2-bit counters, init weakly taken.
     std::uint64_t lookups_ = 0;

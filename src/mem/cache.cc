@@ -35,7 +35,10 @@ Cache::Cache(const CacheParams &params) : params_(params)
     if (!isPowerOfTwo(num_sets_))
         fatal("cache set count %u must be a power of two", num_sets_);
     line_shift_ = log2u(params.line_bytes);
-    lines_.resize(static_cast<std::size_t>(num_sets_) * params.assoc);
+    const std::size_t lines =
+        static_cast<std::size_t>(num_sets_) * params.assoc;
+    tags_.assign(lines, 0);
+    lru_.assign(lines, 0);
 }
 
 std::uint32_t
@@ -51,43 +54,111 @@ Cache::tagOf(Addr addr) const
     return addr >> line_shift_;
 }
 
+/**
+ * The one lookup/replace implementation, shared by the scalar and
+ * batch entry points so they cannot diverge. Hot state (use clock,
+ * miss count) lives in locals across the loop; a hit exits the way
+ * scan before the remaining victim bookkeeping runs.
+ *
+ * Replacement matches the original scalar semantics exactly: the
+ * victim is the *last* invalid way if any way is invalid, otherwise
+ * the first way holding the minimum LRU stamp.
+ */
+template <bool Record>
+std::uint64_t
+Cache::accessRun(const Addr *addrs, std::size_t n, std::uint8_t *hits_out)
+{
+    const std::uint32_t assoc = params_.assoc;
+    const std::uint32_t set_mask = num_sets_ - 1;
+    const std::uint32_t shift = line_shift_;
+    Addr *const tags = tags_.data();
+    std::uint64_t *const lru = lru_.data();
+    std::uint64_t clock = use_clock_;
+    std::uint64_t miss_count = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr tag = addrs[i] >> shift;
+        const Addr code = tag + 1; // Stored form; 0 marks invalid.
+        const std::size_t base =
+            static_cast<std::size_t>(static_cast<std::uint32_t>(tag)
+                                     & set_mask)
+            * assoc;
+        Addr *const set_tags = tags + base;
+        std::uint64_t *const set_lru = lru + base;
+
+        // Hit fast path: pure tag-code compare — invalid ways hold
+        // code 0 and can never match, so no validity check needed.
+        // The 4-way case (default L1D geometry) evaluates all ways
+        // branchlessly; a loop with an early exit mispredicts on the
+        // data-dependent exit way.
+        std::uint32_t way;
+        if (assoc == 4) {
+            const bool h0 = set_tags[0] == code;
+            const bool h1 = set_tags[1] == code;
+            const bool h2 = set_tags[2] == code;
+            const bool h3 = set_tags[3] == code;
+            way = h0 ? 0u : h1 ? 1u : h2 ? 2u : h3 ? 3u : 4u;
+        } else {
+            for (way = 0; way < assoc; ++way)
+                if (set_tags[way] == code)
+                    break;
+        }
+        if (way < assoc) {
+            set_lru[way] = ++clock;
+            if constexpr (Record)
+                hits_out[i] = 1;
+            continue;
+        }
+
+        // Miss: victim is the last invalid way if any, otherwise the
+        // first way holding the minimum LRU stamp (true LRU).
+        std::uint32_t victim = 0;
+        for (way = 0; way < assoc; ++way) {
+            if (set_lru[way] == 0)
+                victim = way;
+            else if (set_lru[victim] != 0
+                     && set_lru[way] < set_lru[victim])
+                victim = way;
+        }
+        set_tags[victim] = code;
+        set_lru[victim] = ++clock;
+        ++miss_count;
+        if constexpr (Record)
+            hits_out[i] = 0;
+    }
+
+    use_clock_ = clock;
+    accesses_ += n;
+    misses_ += miss_count;
+    return miss_count;
+}
+
 bool
 Cache::access(Addr addr)
 {
-    ++accesses_;
-    const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    std::uint8_t hit = 0;
+    accessRun<true>(&addr, 1, &hit);
+    return hit != 0;
+}
 
-    Line *victim = base;
-    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++use_clock_;
-            return true;
-        }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lru < victim->lru) {
-            victim = &line;
-        }
-    }
-
-    ++misses_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = ++use_clock_;
-    return false;
+std::uint64_t
+Cache::accessBatch(const Addr *addrs, std::size_t n,
+                   std::uint8_t *hits_out)
+{
+    if (hits_out != nullptr)
+        return accessRun<true>(addrs, n, hits_out);
+    return accessRun<false>(addrs, n, nullptr);
 }
 
 bool
 Cache::contains(Addr addr) const
 {
     const std::uint32_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    const Addr code = tagOf(addr) + 1;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
     for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag)
+        if (tags_[base + way] == code)
             return true;
     }
     return false;
@@ -96,8 +167,10 @@ Cache::contains(Addr addr) const
 void
 Cache::flush()
 {
-    for (Line &line : lines_)
-        line.valid = false;
+    for (Addr &code : tags_)
+        code = 0;
+    for (std::uint64_t &stamp : lru_)
+        stamp = 0;
     ++flushes_;
 }
 
@@ -106,6 +179,28 @@ Cache::resetCounters()
 {
     accesses_ = 0;
     misses_ = 0;
+    flushes_ = 0;
+}
+
+std::uint64_t
+Cache::stateHash() const
+{
+    // FNV-1a over (tag code, lru stamp) per line — tag codes are 0
+    // for invalid ways, so the hash covers exactly the
+    // behaviour-relevant state.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (std::size_t i = 0; i < lru_.size(); ++i) {
+        mix(tags_[i]);
+        mix(lru_[i]);
+    }
+    mix(use_clock_);
+    return h;
 }
 
 } // namespace hiss

@@ -7,11 +7,18 @@
  * address streams through the same instance, so kernel pollution of
  * user state is an emergent property rather than a fudge factor
  * (paper Fig. 5a).
+ *
+ * Storage is split tag/metadata arrays (structure-of-arrays) so the
+ * way scans of the batched access kernel stream through contiguous
+ * tags. accessBatch() is the hot entry point — one call per burst
+ * sample — and is observably identical, access by access, to calling
+ * access() in a loop (enforced by SubstrateBatch.* in ctest).
  */
 
 #ifndef HISS_MEM_CACHE_H_
 #define HISS_MEM_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +48,17 @@ class Cache
      */
     bool access(Addr addr);
 
+    /**
+     * Look up @p n addresses in order, allocating on miss — exactly
+     * equivalent to calling access() on each element, but amortizes
+     * the call and counter traffic across the batch.
+     *
+     * @param hits_out optional per-access results (1 = hit), length n.
+     * @return the number of misses in the batch.
+     */
+    std::uint64_t accessBatch(const Addr *addrs, std::size_t n,
+                              std::uint8_t *hits_out = nullptr);
+
     /** @return true if @p addr is currently resident (no side effects). */
     bool contains(Addr addr) const;
 
@@ -60,19 +78,24 @@ class Cache
             : static_cast<double>(misses_) / static_cast<double>(accesses_);
     }
 
-    /** Zero the access/miss counters (contents are kept). */
+    /** Zero the access/miss/flush counters (contents are kept). */
     void resetCounters();
+
+    /**
+     * Order-sensitive digest of the full replacement state (valid
+     * bits, tags, LRU ordering). Two caches that produce the same
+     * hash behave identically on all future accesses; used by the
+     * batch-vs-scalar equivalence property tests.
+     */
+    std::uint64_t stateHash() const;
 
     std::uint32_t numSets() const { return num_sets_; }
     const CacheParams &params() const { return params_; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lru = 0; // Higher = more recently used.
-    };
+    template <bool Record>
+    std::uint64_t accessRun(const Addr *addrs, std::size_t n,
+                            std::uint8_t *hits_out);
 
     std::uint32_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
@@ -80,7 +103,16 @@ class Cache
     CacheParams params_;
     std::uint32_t num_sets_;
     std::uint32_t line_shift_;
-    std::vector<Line> lines_; // num_sets_ * assoc, set-major.
+
+    // Split arrays, both num_sets_ * assoc entries, set-major.
+    // tags_ holds "tag codes" (tag + 1, 0 = invalid) so the hit scan
+    // is a single compare per way with no validity check; lru_ holds
+    // recency stamps from the monotonically increasing use_clock_
+    // (starting at 1, so lru_[i] == 0 also marks invalid). flush()
+    // zeroes both.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lru_;
+
     std::uint64_t use_clock_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;

@@ -17,12 +17,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 /** FNV-1a hash of a string, for stream-name derivation. */
 std::uint64_t
 hashName(const std::string &name)
@@ -49,61 +43,12 @@ Rng::Rng(std::uint64_t experiment_seed, const std::string &stream_name)
 {
 }
 
-std::uint64_t
-Rng::next()
+void
+Rng::uniformIntRangeError(std::uint64_t lo, std::uint64_t hi)
 {
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
-{
-    if (lo > hi)
-        panic("Rng::uniformInt: lo (%llu) > hi (%llu)",
-              static_cast<unsigned long long>(lo),
-              static_cast<unsigned long long>(hi));
-    const std::uint64_t range = hi - lo;
-    if (range == ~std::uint64_t{0})
-        return next();
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t span = range + 1;
-    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
-    std::uint64_t draw;
-    do {
-        draw = next();
-    } while (draw >= limit);
-    return lo + draw % span;
-}
-
-double
-Rng::uniformReal()
-{
-    // 53 random bits into the mantissa.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniformReal(double lo, double hi)
-{
-    return lo + (hi - lo) * uniformReal();
-}
-
-bool
-Rng::withProbability(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniformReal() < p;
+    panic("Rng::uniformInt: lo (%llu) > hi (%llu)",
+          static_cast<unsigned long long>(lo),
+          static_cast<unsigned long long>(hi));
 }
 
 double

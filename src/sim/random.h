@@ -7,6 +7,12 @@
  * run is reproducible and components' draws are independent of each
  * other's call order. The generator is xoshiro256**, seeded via
  * splitmix64.
+ *
+ * The hot helpers (next, uniformInt, uniformReal, withProbability)
+ * are defined inline here so the batched stream-fill loops
+ * (mem/address_stream.cc) compile down to straight-line generator
+ * code. Their emitted value sequences are part of the determinism
+ * contract and must never change (docs/TESTING.md).
  */
 
 #ifndef HISS_SIM_RANDOM_H_
@@ -31,19 +37,65 @@ class Rng
     Rng(std::uint64_t experiment_seed, const std::string &stream_name);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
-    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (lo > hi)
+            uniformIntRangeError(lo, hi);
+        const std::uint64_t range = hi - lo;
+        if (range == ~std::uint64_t{0})
+            return next();
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t span = range + 1;
+        const std::uint64_t limit =
+            ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+        std::uint64_t draw;
+        do {
+            draw = next();
+        } while (draw >= limit);
+        return lo + draw % span;
+    }
 
     /** Uniform real in [0, 1). */
-    double uniformReal();
+    double
+    uniformReal()
+    {
+        // 53 random bits into the mantissa.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform real in [lo, hi). */
-    double uniformReal(double lo, double hi);
+    double
+    uniformReal(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniformReal();
+    }
 
     /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
-    bool withProbability(double p);
+    bool
+    withProbability(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniformReal() < p;
+    }
 
     /** Exponential variate with the given mean (> 0). */
     double exponential(double mean);
@@ -52,6 +104,15 @@ class Rng
     double normal(double mean, double stddev);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    [[noreturn]] static void uniformIntRangeError(std::uint64_t lo,
+                                                  std::uint64_t hi);
+
     std::uint64_t s_[4];
 };
 

@@ -86,6 +86,62 @@ TEST(Cache, ResetCountersKeepsContents)
     EXPECT_TRUE(cache.contains(0x80));
 }
 
+TEST(Cache, ResetCountersAlsoClearsFlushCount)
+{
+    Cache cache(CacheParams{1024, 2, 64});
+    cache.access(0x80);
+    cache.flush();
+    cache.flush();
+    EXPECT_EQ(cache.flushes(), 2u);
+    cache.resetCounters();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.flushes(), 0u);
+}
+
+TEST(Cache, BatchReturnsMissCountAndPerAccessHits)
+{
+    Cache cache(CacheParams{1024, 2, 64});
+    // Two distinct lines, each touched twice: 2 misses, 2 hits.
+    const Addr addrs[] = {0x0, 0x40, 0x0, 0x48};
+    std::uint8_t hits[4] = {9, 9, 9, 9};
+    EXPECT_EQ(cache.accessBatch(addrs, 4, hits), 2u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_EQ(hits[1], 0u);
+    EXPECT_EQ(hits[2], 1u);
+    EXPECT_EQ(hits[3], 1u); // Same line as 0x40.
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, BatchWithoutHitsOutMatchesCounters)
+{
+    Cache cache(CacheParams{1024, 2, 64});
+    const Addr addrs[] = {0x0, 0x0, 0x200, 0x0};
+    EXPECT_EQ(cache.accessBatch(addrs, 4), 2u);
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.accessBatch(addrs, 0), 0u); // Empty batch is a no-op.
+    EXPECT_EQ(cache.accesses(), 4u);
+}
+
+TEST(Cache, BatchMatchesScalarStateHash)
+{
+    Cache batched(CacheParams{4 * 1024, 4, 64});
+    Cache scalar(CacheParams{4 * 1024, 4, 64});
+    Rng rng(7);
+    std::vector<Addr> addrs(512);
+    for (Addr &a : addrs)
+        a = rng.uniformInt(0, 255) * 64;
+    std::uint64_t hits = 0;
+    for (const Addr a : addrs)
+        hits += static_cast<std::uint64_t>(scalar.access(a));
+    EXPECT_EQ(batched.accessBatch(addrs.data(), addrs.size()),
+              addrs.size() - hits);
+    EXPECT_EQ(batched.stateHash(), scalar.stateHash());
+    EXPECT_EQ(batched.misses(), scalar.misses());
+}
+
 TEST(Cache, MissRateComputation)
 {
     Cache cache(CacheParams{1024, 2, 64});

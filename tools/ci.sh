@@ -3,15 +3,40 @@
 # tier-1 test suite, then the randomized fuzz corpus (ctest -L fuzz).
 #
 # Usage: tools/ci.sh [preset...]   (default: default check asan tsan)
+#        tools/ci.sh bench         (substrate + event-queue microbench
+#                                   baselines -> BENCH_*.json at repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+# `bench` mode: build the RelWithDebInfo preset and refresh the
+# committed microbenchmark baselines. Compare a fresh run against the
+# checked-in JSON to spot substrate/event-queue regressions; the
+# interesting figures are items_per_second of the *Batch benchmarks
+# and their ratio to the scalar variants (the batching win — the
+# batched cache/BP paths are expected to stay >= 2x scalar at burst
+# size, see docs/TESTING.md).
+if [ "${1-}" = "bench" ]; then
+    cmake --preset default
+    cmake --build --preset default -j "$jobs" \
+        --target microbench_substrate microbench_event_queue
+    bench_flags=(--benchmark_format=json --benchmark_min_time=0.5
+                 --benchmark_repetitions=3
+                 --benchmark_report_aggregates_only=true)
+    build-default/bench/microbench_substrate "${bench_flags[@]}" \
+        > BENCH_substrate.json
+    build-default/bench/microbench_event_queue "${bench_flags[@]}" \
+        > BENCH_event_queue.json
+    echo "ci: bench baselines written (BENCH_substrate.json," \
+         "BENCH_event_queue.json)"
+    exit 0
+fi
 
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
     presets=(default check asan tsan)
 fi
-
-jobs=$(nproc 2>/dev/null || echo 2)
 
 for p in "${presets[@]}"; do
     echo "=== preset: $p ==="
