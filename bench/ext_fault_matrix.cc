@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension: fault-rate sensitivity matrix.
+ *
+ * Sweeps the injected MSI drop probability (with the signal-loss and
+ * kworker-stall classes riding along at the same rate, over a finite
+ * PPR queue) and reports how CPU slowdown and the aborted-wavefront
+ * count respond. The interesting result is the shape: recovery
+ * (watchdog re-raise plus driver retry) keeps the chain flowing, so
+ * CPU interference barely moves — the faults surface on the GPU as
+ * wavefront aborts once stalled kworkers lose races with the request
+ * watchdog.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hiss;
+    const int reps = bench::repsFromArgs(argc, argv, 2);
+    const int jobs = bench::jobsFromArgs(argc, argv);
+    bench::banner(
+        "Extension: fault rate vs. CPU slowdown and GPU aborts",
+        "robustness of the SSR chain under injected device/IRQ "
+        "faults (docs/MODEL.md failure model)");
+
+    const std::vector<double> drop_rates = {0.0, 0.01, 0.05, 0.10,
+                                            0.20};
+
+    bench::CellBatch batch(jobs);
+    std::vector<std::size_t> solo_ix;
+    std::vector<std::size_t> pair_ix;
+    for (const double rate : drop_rates) {
+        ExperimentConfig config = bench::defaultConfig();
+        if (rate > 0.0) {
+            config.fault.irq_drop_prob = rate;
+            config.fault.signal_loss_prob = rate;
+            config.fault.kworker_stall_prob = rate;
+            config.fault.ppr_queue_capacity = 8;
+            config.fault.request_timeout = usToTicks(300.0);
+        }
+        solo_ix.push_back(batch.add("x264", "", config,
+                                    MeasureMode::CpuOnly, reps));
+        pair_ix.push_back(batch.add("x264", "sssp", config,
+                                    MeasureMode::CpuPrimary, reps));
+    }
+    batch.run();
+
+    const double solo_base = batch[solo_ix[0]].cpu_runtime_ms;
+    std::printf("%-10s %14s %12s %14s %14s\n", "drop_p",
+                "cpu pair (ms)", "slowdown", "aborted_wf",
+                "ssr_cpu%");
+    for (std::size_t i = 0; i < drop_rates.size(); ++i) {
+        const RunResult &pair = batch[pair_ix[i]];
+        std::printf("%-10.2f %14.3f %12.3f %14llu %14.2f\n",
+                    drop_rates[i], pair.cpu_runtime_ms,
+                    solo_base > 0.0 ? pair.cpu_runtime_ms / solo_base
+                                    : 0.0,
+                    static_cast<unsigned long long>(
+                        pair.aborted_wavefronts),
+                    100.0 * pair.ssr_cpu_fraction);
+    }
+    std::printf("\nMSI drops are absorbed by the device watchdog: the "
+                "re-raise batches the PPR drain, so the CPU actually "
+                "sees FEWER interrupts as drop_p grows and the "
+                "slowdown eases toward solo. The cost lands on the "
+                "GPU instead — stalled kworkers lose races with the "
+                "request watchdog and the aborted-wavefront count "
+                "climbs with the fault rate.\n");
+    return 0;
+}

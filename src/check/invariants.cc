@@ -28,6 +28,9 @@ InvariantMonitor::InvariantMonitor(SimContext &ctx, HeteroSystem &sys,
         return sys.iommu().faultsResolved();
     };
     iommu.device_depth = [&sys] { return sys.iommu().pprQueueDepth(); };
+    iommu.device_aborted = [&sys] {
+        return sys.iommu().faultsAborted();
+    };
     chains_.push_back(std::move(iommu));
 
     Chain signal;
@@ -43,6 +46,9 @@ InvariantMonitor::InvariantMonitor(SimContext &ctx, HeteroSystem &sys,
     };
     signal.device_depth = [&sys] {
         return sys.signalQueue().queueDepth();
+    };
+    signal.device_aborted = [&sys] {
+        return sys.signalQueue().signalsAborted();
     };
     chains_.push_back(std::move(signal));
 
@@ -144,6 +150,16 @@ InvariantMonitor::onSsrCompleted(const void *source, std::uint64_t id)
     if (it == c.stage.end())
         fail("%s request %llu completed but never issued",
              c.label.c_str(), static_cast<unsigned long long>(id));
+    if (it->second == Stage::Aborted) {
+        // Zombie retirement: the kworker finished a request the
+        // watchdog already aborted. The driver suppressed the device
+        // callback, so this closes the ledger without counting as a
+        // real completion.
+        c.stage.erase(it);
+        --c.work_queued;
+        ++c.hook_retired;
+        return;
+    }
     if (it->second != Stage::WorkQueued)
         fail("%s request %llu completed out of order (stage %d)",
              c.label.c_str(), static_cast<unsigned long long>(id),
@@ -151,6 +167,48 @@ InvariantMonitor::onSsrCompleted(const void *source, std::uint64_t id)
     c.stage.erase(it);
     --c.work_queued;
     ++c.hook_completed;
+}
+
+void
+InvariantMonitor::onSsrAborted(const void *source, std::uint64_t id)
+{
+    Chain &c = chainFor(source);
+    auto it = c.stage.find(id);
+    if (it == c.stage.end())
+        fail("%s request %llu aborted but never issued",
+             c.label.c_str(), static_cast<unsigned long long>(id));
+    if (it->second != Stage::WorkQueued)
+        fail("%s request %llu aborted in stage %d (the watchdog may "
+             "only abort work-queued requests)",
+             c.label.c_str(), static_cast<unsigned long long>(id),
+             static_cast<int>(it->second));
+    // The zombie work item still occupies the workqueue, so
+    // work_queued stays until the suppressed completion retires it.
+    it->second = Stage::Aborted;
+    ++c.hook_aborted;
+}
+
+void
+InvariantMonitor::onSsrInjectedLoss(const void *source, std::uint64_t id)
+{
+    Chain &c = chainFor(source);
+    FaultInjector *faults = sys_.faultInjector();
+    if (faults == nullptr || !faults->wasInjectedLoss(source, id))
+        fail("%s request %llu reported lost without a fault-injector "
+             "ledger entry (genuine leak?)",
+             c.label.c_str(), static_cast<unsigned long long>(id));
+    auto it = c.stage.find(id);
+    if (it == c.stage.end())
+        fail("%s request %llu lost but never issued", c.label.c_str(),
+             static_cast<unsigned long long>(id));
+    if (it->second != Stage::DeviceQueued)
+        fail("%s request %llu lost in stage %d (injected loss happens "
+             "at the device)",
+             c.label.c_str(), static_cast<unsigned long long>(id),
+             static_cast<int>(it->second));
+    c.stage.erase(it);
+    --c.in_device;
+    ++c.hook_lost;
 }
 
 void
@@ -268,13 +326,37 @@ InvariantMonitor::checkSsrConservation()
                  c.label.c_str(),
                  static_cast<unsigned long long>(completed),
                  static_cast<unsigned long long>(c.hook_completed));
-        if (issued != completed + c.stage.size())
+        if (issued != completed + c.hook_retired + c.hook_lost
+                          + c.stage.size())
             fail("%s: conservation broken: issued %llu != completed "
-                 "%llu + in-flight %zu",
+                 "%llu + aborted-retired %llu + injected-lost %llu + "
+                 "in-flight %zu",
                  c.label.c_str(),
                  static_cast<unsigned long long>(issued),
                  static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(c.hook_retired),
+                 static_cast<unsigned long long>(c.hook_lost),
                  c.stage.size());
+        if (c.device_aborted && c.device_aborted() != c.hook_aborted)
+            fail("%s: device saw %llu aborts but hooks saw %llu",
+                 c.label.c_str(),
+                 static_cast<unsigned long long>(c.device_aborted()),
+                 static_cast<unsigned long long>(c.hook_aborted));
+        if (c.driver->requestsAborted() != c.hook_aborted)
+            fail("%s: driver aborted %llu requests but hooks saw %llu",
+                 c.label.c_str(),
+                 static_cast<unsigned long long>(
+                     c.driver->requestsAborted()),
+                 static_cast<unsigned long long>(c.hook_aborted));
+        FaultInjector *faults = sys_.faultInjector();
+        const std::uint64_t ledgered =
+            faults != nullptr ? faults->injectedLossCount(c.source) : 0;
+        if (c.hook_lost != ledgered)
+            fail("%s: hooks saw %llu injected losses but the injector "
+                 "ledgered %llu",
+                 c.label.c_str(),
+                 static_cast<unsigned long long>(c.hook_lost),
+                 static_cast<unsigned long long>(ledgered));
         if (c.in_device != c.device_depth())
             fail("%s: ledger says %zu requests in the device queue, "
                  "device says %zu",

@@ -77,6 +77,9 @@ class InvariantMonitor final : public SimObject, public CheckHooks
     void onSsrDrained(const void *source, std::uint64_t id) override;
     void onSsrWorkQueued(const void *source, std::uint64_t id) override;
     void onSsrCompleted(const void *source, std::uint64_t id) override;
+    void onSsrAborted(const void *source, std::uint64_t id) override;
+    void onSsrInjectedLoss(const void *source,
+                           std::uint64_t id) override;
     /// @}
 
     /**
@@ -93,8 +96,10 @@ class InvariantMonitor final : public SimObject, public CheckHooks
     std::uint64_t checksRun() const { return checks_run_; }
 
   private:
-    /** Where an in-flight SSR request currently sits. */
-    enum class Stage { DeviceQueued, Drained, WorkQueued };
+    /** Where an in-flight SSR request currently sits. Aborted means
+     *  the recovery watchdog gave up on it but its zombie work item
+     *  still occupies the workqueue until it retires. */
+    enum class Stage { DeviceQueued, Drained, WorkQueued, Aborted };
 
     /** Ledger for one device -> driver -> workqueue chain. */
     struct Chain
@@ -105,10 +110,18 @@ class InvariantMonitor final : public SimObject, public CheckHooks
         std::function<std::uint64_t()> device_issued;
         std::function<std::uint64_t()> device_completed;
         std::function<std::size_t()> device_depth;
+        /** Device-side abort counter (fault injection); may be null. */
+        std::function<std::uint64_t()> device_aborted;
 
         std::unordered_map<std::uint64_t, Stage> stage;
         std::uint64_t hook_issued = 0;
         std::uint64_t hook_completed = 0;
+        /** Requests the watchdog aborted (may still be in-flight). */
+        std::uint64_t hook_aborted = 0;
+        /** Aborted requests whose zombie completion has retired. */
+        std::uint64_t hook_retired = 0;
+        /** Requests the fault injector lost (ledger-verified). */
+        std::uint64_t hook_lost = 0;
         std::size_t in_device = 0;
         std::size_t drained = 0;
         std::size_t work_queued = 0;

@@ -86,6 +86,7 @@ SystemConfig::describe() const
                            ticksToUs(check_period)))
                      + " us)"
                : std::string("off"))
+       << "\n  Faults: " << fault.label()
        << "\n";
     return os.str();
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cpu/core.h"
+#include "fault/fault_plan.h"
 #include "gpu/gpu.h"
 #include "iommu/iommu.h"
 #include "os/kernel.h"
@@ -71,6 +72,14 @@ struct SystemConfig
     bool check_invariants = kCheckDefaultArmed;
     /** Period between invariant sweeps when armed. */
     Tick check_period = usToTicks(50);
+
+    /**
+     * Deterministic fault-injection plan (src/fault). Disabled by
+     * default: fault.enabled() false means the System constructs no
+     * FaultInjector at all and the run is bit-identical to a build
+     * without the fault subsystem.
+     */
+    FaultPlan fault;
 
     /** Fold a mitigation selection into the device/driver configs. */
     void applyMitigations(const MitigationConfig &mitigation);

@@ -57,6 +57,9 @@ extractResult(HeteroSystem &sys, Tick elapsed)
     r.ssr_interrupts = kernel.procInterrupts().totalFor("iommu_drv");
     r.faults_resolved = sys.gpu().faultsResolved();
     r.msis_raised = sys.iommu().msisRaised();
+    r.aborted_wavefronts = sys.gpu().abortedWavefronts();
+    for (std::size_t i = 0; i < sys.numExtraAccelerators(); ++i)
+        r.aborted_wavefronts += sys.extraAccelerator(i).abortedWavefronts();
     if (elapsed > 0)
         r.gpu_ssr_rate = static_cast<double>(r.faults_resolved)
             / ticksToSec(elapsed);
@@ -76,13 +79,14 @@ reportFailure(const std::string &cpu_app, const std::string &gpu_app,
         stderr,
         "hiss: run failed: %s\n"
         "hiss:   seed=%llu cpu='%s' gpu='%s' mitigation=%s qos=%g "
-        "demand_paging=%d accels=%d%s\n",
+        "demand_paging=%d accels=%d%s faults=%s\n",
         e.what(), static_cast<unsigned long long>(config.seed),
         cpu_app.c_str(), gpu_app.c_str(),
         config.mitigation.label().c_str(), config.qos_threshold,
         config.gpu_demand_paging ? 1 : 0,
         1 + config.extra_accelerators,
-        config.check_invariants ? " check=on" : "");
+        config.check_invariants ? " check=on" : "",
+        config.fault.label().c_str());
 }
 
 RunResult
@@ -98,6 +102,8 @@ runCell(const std::string &cpu_app, const std::string &gpu_app,
         sys_config.enableQos(config.qos_threshold);
     if (config.check_invariants)
         sys_config.check_invariants = true;
+    if (config.fault.enabled())
+        sys_config.fault = config.fault;
 
     HeteroSystem sys(sys_config);
 
@@ -223,6 +229,7 @@ ExperimentRunner::average(const std::vector<RunResult> &runs)
         avg.ssr_interrupts += r.ssr_interrupts;
         avg.faults_resolved += r.faults_resolved;
         avg.msis_raised += r.msis_raised;
+        avg.aborted_wavefronts += r.aborted_wavefronts;
         if (per_core.size() < r.ssr_irqs_per_core.size())
             per_core.resize(r.ssr_irqs_per_core.size(), 0);
         for (std::size_t c2 = 0; c2 < r.ssr_irqs_per_core.size(); ++c2)
@@ -242,6 +249,7 @@ ExperimentRunner::average(const std::vector<RunResult> &runs)
     avg.ssr_interrupts /= static_cast<std::uint64_t>(reps);
     avg.faults_resolved /= static_cast<std::uint64_t>(reps);
     avg.msis_raised /= static_cast<std::uint64_t>(reps);
+    avg.aborted_wavefronts /= static_cast<std::uint64_t>(reps);
     for (std::uint64_t &c : per_core)
         c /= static_cast<std::uint64_t>(reps);
     avg.ssr_irqs_per_core = std::move(per_core);

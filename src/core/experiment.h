@@ -59,6 +59,9 @@ struct ExperimentConfig
     /** Arm the runtime invariant layer (src/check) for this cell. */
     bool check_invariants = false;
 
+    /** Fault-injection schedule (disabled by default). */
+    FaultPlan fault;
+
     /** Override the default testbed (leave nullptr for Table II). */
     const SystemConfig *base_system = nullptr;
 };
@@ -95,6 +98,9 @@ struct RunResult
     std::uint64_t ssr_interrupts = 0;
     std::uint64_t faults_resolved = 0;
     std::uint64_t msis_raised = 0;
+
+    /** Wavefronts the fault-recovery watchdog gave up on (all GPUs). */
+    std::uint64_t aborted_wavefronts = 0;
 
     /** Per-core SSR interrupt deliveries (Section IV-C). */
     std::vector<std::uint64_t> ssr_irqs_per_core;

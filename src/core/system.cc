@@ -8,6 +8,10 @@ namespace hiss {
 HeteroSystem::HeteroSystem(const SystemConfig &config)
     : config_(config), ctx_{events_, stats_, config.seed}
 {
+    if (config.fault.enabled()) {
+        faults_ = std::make_unique<FaultInjector>(ctx_, config.fault);
+        ctx_.faults = faults_.get();
+    }
     kernel_ = std::make_unique<Kernel>(ctx_, config.num_cores,
                                        config.core, config.kernel);
     iommu_ = std::make_unique<Iommu>(ctx_, *kernel_, config.iommu);

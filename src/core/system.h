@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "fault/fault_injector.h"
 #include "gpu/gpu.h"
 #include "gpu/signal_queue.h"
 #include "iommu/iommu.h"
@@ -52,6 +53,10 @@ class HeteroSystem
     /** The armed invariant monitor, or nullptr when checking is off
      *  (SystemConfig::check_invariants / HISS_CHECK=ON). */
     check::InvariantMonitor *checkMonitor() { return monitor_.get(); }
+
+    /** The fault injector, or nullptr when SystemConfig::fault is
+     *  disabled (the default). */
+    FaultInjector *faultInjector() { return faults_.get(); }
 
     /** Create (but not start) a CPU application; owned by the system. */
     CpuApp &addCpuApp(const CpuAppParams &params);
@@ -105,6 +110,9 @@ class HeteroSystem
     EventQueue events_;
     StatRegistry stats_;
     SimContext ctx_;
+    // Constructed before (and destroyed after) every component that
+    // queries it through SimContext::faults.
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Iommu> iommu_;
     SsrDriver *ssr_driver_ = nullptr;       // Owned by the kernel.

@@ -1,0 +1,157 @@
+#include "fault/fault_injector.h"
+
+namespace hiss {
+
+FaultInjector::FaultInjector(SimContext &ctx, const FaultPlan &plan)
+    : SimObject(ctx, "fault_injector"),
+      plan_(plan),
+      unledgered_drops_left_(plan.unledgered_drops)
+{
+    stats().addFormula("fault.pprs_overflowed",
+                       "PPRs rejected by injected queue overflow",
+                       [this] {
+                           return static_cast<double>(pprs_overflowed_);
+                       });
+    stats().addFormula("fault.irqs_dropped",
+                       "IRQ deliveries dropped by injection",
+                       [this] {
+                           return static_cast<double>(irqs_dropped_);
+                       });
+    stats().addFormula("fault.irqs_duplicated",
+                       "IRQ deliveries duplicated by injection",
+                       [this] {
+                           return static_cast<double>(irqs_duplicated_);
+                       });
+    stats().addFormula("fault.irqs_delayed",
+                       "IRQ deliveries delayed by injection",
+                       [this] {
+                           return static_cast<double>(irqs_delayed_);
+                       });
+    stats().addFormula("fault.ipis_delayed",
+                       "resched IPIs delayed by injection",
+                       [this] {
+                           return static_cast<double>(ipis_delayed_);
+                       });
+    stats().addFormula("fault.kworker_stalls",
+                       "kworker stalls injected",
+                       [this] {
+                           return static_cast<double>(kworker_stalls_);
+                       });
+    stats().addFormula("fault.signals_lost",
+                       "GPU completion signals lost by injection",
+                       [this] {
+                           return static_cast<double>(signals_lost_);
+                       });
+    stats().addFormula("fault.total_injected",
+                       "total faults injected across all classes",
+                       [this] {
+                           return static_cast<double>(totalInjected());
+                       });
+}
+
+bool
+FaultInjector::pprOverflow(std::size_t depth)
+{
+    if (plan_.ppr_queue_capacity == 0
+        || depth < plan_.ppr_queue_capacity)
+        return false;
+    ++pprs_overflowed_;
+    trace("ppr overflow at depth %zu (cap %zu)", depth,
+          plan_.ppr_queue_capacity);
+    return true;
+}
+
+IrqFate
+FaultInjector::irqFate()
+{
+    IrqFate fate;
+    fate.dropped = rng().withProbability(plan_.irq_drop_prob);
+    if (fate.dropped) {
+        ++irqs_dropped_;
+        trace("irq delivery dropped");
+        return fate;
+    }
+    fate.duplicated = rng().withProbability(plan_.irq_dup_prob);
+    if (fate.duplicated) {
+        ++irqs_duplicated_;
+        trace("irq delivery duplicated");
+    }
+    if (rng().withProbability(plan_.irq_delay_prob)) {
+        fate.extra_delay = plan_.irq_delay;
+        ++irqs_delayed_;
+        trace("irq delivery delayed %llu ticks",
+              static_cast<unsigned long long>(fate.extra_delay));
+    }
+    return fate;
+}
+
+Tick
+FaultInjector::ipiDelay()
+{
+    if (!rng().withProbability(plan_.ipi_delay_prob))
+        return 0;
+    ++ipis_delayed_;
+    trace("ipi delayed %llu ticks",
+          static_cast<unsigned long long>(plan_.ipi_delay));
+    return plan_.ipi_delay;
+}
+
+Tick
+FaultInjector::kworkerStall()
+{
+    if (!rng().withProbability(plan_.kworker_stall_prob))
+        return 0;
+    ++kworker_stalls_;
+    trace("kworker stall %llu ticks",
+          static_cast<unsigned long long>(plan_.kworker_stall));
+    return plan_.kworker_stall;
+}
+
+bool
+FaultInjector::loseSignal()
+{
+    if (!rng().withProbability(plan_.signal_loss_prob))
+        return false;
+    ++signals_lost_;
+    trace("gpu completion signal lost");
+    return true;
+}
+
+bool
+FaultInjector::takeUnledgeredDrop()
+{
+    if (unledgered_drops_left_ <= 0)
+        return false;
+    --unledgered_drops_left_;
+    return true;
+}
+
+void
+FaultInjector::recordInjectedLoss(const void *source, std::uint64_t id)
+{
+    loss_ledger_[source].insert(id);
+}
+
+bool
+FaultInjector::wasInjectedLoss(const void *source, std::uint64_t id) const
+{
+    const auto it = loss_ledger_.find(source);
+    return it != loss_ledger_.end() && it->second.count(id) > 0;
+}
+
+std::uint64_t
+FaultInjector::injectedLossCount(const void *source) const
+{
+    const auto it = loss_ledger_.find(source);
+    return it == loss_ledger_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    return pprs_overflowed_ + irqs_dropped_ + irqs_duplicated_
+           + irqs_delayed_ + ipis_delayed_ + kworker_stalls_
+           + signals_lost_;
+}
+
+} // namespace hiss

@@ -1,0 +1,31 @@
+#include "fault/fault_plan.h"
+
+#include <cstdio>
+
+namespace hiss {
+
+bool
+FaultPlan::enabled() const
+{
+    return ppr_queue_capacity > 0 || irq_drop_prob > 0.0
+           || irq_dup_prob > 0.0 || irq_delay_prob > 0.0
+           || ipi_delay_prob > 0.0 || kworker_stall_prob > 0.0
+           || signal_loss_prob > 0.0 || unledgered_drops > 0;
+}
+
+std::string
+FaultPlan::label() const
+{
+    if (!enabled())
+        return "none";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "ppr_cap=%zu drop=%.3f dup=%.3f delay=%.3f "
+                  "ipi=%.3f stall=%.3f sigloss=%.3f retries=%d",
+                  ppr_queue_capacity, irq_drop_prob, irq_dup_prob,
+                  irq_delay_prob, ipi_delay_prob, kworker_stall_prob,
+                  signal_loss_prob, max_retries);
+    return buf;
+}
+
+} // namespace hiss

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Declarative description of the faults a run should suffer.
+ *
+ * A FaultPlan is plain configuration: probabilities and delays for
+ * each fault class the SSR chain can experience, plus the recovery
+ * knobs the driver uses to survive them. The plan itself draws no
+ * randomness — the FaultInjector turns it into a deterministic
+ * per-seed schedule (docs/MODEL.md, failure model section).
+ */
+
+#ifndef HISS_FAULT_FAULT_PLAN_H_
+#define HISS_FAULT_FAULT_PLAN_H_
+
+#include <cstddef>
+#include <string>
+
+#include "sim/ticks.h"
+
+namespace hiss {
+
+/**
+ * Fault classes and recovery parameters for one run.
+ *
+ * The default-constructed plan injects nothing: enabled() is false
+ * and the System does not even construct a FaultInjector, so
+ * fault-free runs stay bit-identical to builds without this
+ * subsystem.
+ */
+struct FaultPlan
+{
+    // -- device faults -------------------------------------------------
+    /**
+     * Finite PPR queue capacity; 0 means unbounded (the amd_iommu_v2
+     * overflow never fires). When the queue is full a new PPR is
+     * auto-responded INVALID and the translate completes Rejected.
+     */
+    std::size_t ppr_queue_capacity = 0;
+
+    // -- interrupt-delivery faults ------------------------------------
+    /** Probability an MSI/IRQ delivery is silently dropped. */
+    double irq_drop_prob = 0.0;
+    /** Probability a delivery is duplicated to a second core. */
+    double irq_dup_prob = 0.0;
+    /** Probability a delivery is delayed by irq_delay. */
+    double irq_delay_prob = 0.0;
+    /** Extra delivery latency when an IRQ-delay fault fires. */
+    Tick irq_delay = usToTicks(40);
+
+    /** Probability a resched IPI is delayed by ipi_delay. */
+    double ipi_delay_prob = 0.0;
+    /** Extra delivery latency when an IPI-delay fault fires. */
+    Tick ipi_delay = usToTicks(15);
+
+    // -- kernel-thread faults -----------------------------------------
+    /** Probability a kworker stalls before taking its next item. */
+    double kworker_stall_prob = 0.0;
+    /** Duration of one injected kworker stall. */
+    Tick kworker_stall = usToTicks(120);
+
+    // -- GPU signal faults --------------------------------------------
+    /** Probability a GPU completion signal is lost in the queue. */
+    double signal_loss_prob = 0.0;
+
+    // -- recovery knobs -----------------------------------------------
+    /** Device watchdog: re-raise a dropped MSI after this long. */
+    Tick irq_watchdog = usToTicks(250);
+    /** GPU re-sends a lost completion signal after this long. */
+    Tick signal_resend = usToTicks(400);
+    /**
+     * Driver watchdog: abort a request (and its owning wavefront)
+     * that has sat in the work queue this long. 0 disables request
+     * tracking; it is a recovery knob, not a fault, so it does not
+     * by itself make the plan enabled().
+     */
+    Tick request_timeout = msToTicks(4);
+    /** GPU retries a Rejected translate this many times, then aborts. */
+    int max_retries = 8;
+    /** First retry backoff (doubles up to retry_backoff_max). */
+    Tick retry_backoff_initial = usToTicks(5);
+    /** Retry backoff saturation point. */
+    Tick retry_backoff_max = usToTicks(320);
+
+    // -- deliberate conservation bugs (tests only) --------------------
+    /**
+     * Number of requests the driver silently drops without telling
+     * the injector's ledger. This models a *bug*, not a fault: the
+     * invariant layer must catch it. Used by tests/test_invariants.cc.
+     */
+    int unledgered_drops = 0;
+
+    /** True if any fault class can fire (recovery knobs excluded). */
+    bool enabled() const;
+
+    /** Short human-readable summary, e.g. for failure reports. */
+    std::string label() const;
+};
+
+} // namespace hiss
+
+#endif // HISS_FAULT_FAULT_PLAN_H_

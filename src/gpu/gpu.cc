@@ -1,5 +1,7 @@
 #include "gpu/gpu.h"
 
+#include "fault/fault_injector.h"
+#include "os/qos_governor.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -44,6 +46,22 @@ Gpu::Gpu(SimContext &ctx, Iommu &iommu, const GpuParams &params)
                    [this] {
                        return static_cast<double>(kernels_completed_);
                    });
+    // Registered only under fault injection so fault-free stat dumps
+    // stay byte-identical to builds without the fault subsystem.
+    if (faultInjector() != nullptr) {
+        reg.addFormula(p + "aborted_wavefronts",
+                       "wavefronts aborted after exhausted retries",
+                       [this] {
+                           return static_cast<double>(
+                               aborted_wavefronts_);
+                       });
+        reg.addFormula(p + "translate_retries",
+                       "translates re-issued after INVALID responses",
+                       [this] {
+                           return static_cast<double>(
+                               translate_retries_);
+                       });
+    }
 }
 
 void
@@ -169,24 +187,69 @@ void
 Gpu::issueTranslate(int w)
 {
     Wavefront &wf = wavefronts_[static_cast<std::size_t>(w)];
-    if (wf.work.fresh && demand_paging_)
-        ++faults_issued_;
     const bool count_fault = wf.work.fresh && demand_paging_;
+    // A retried assignment was already counted as issued.
+    if (count_fault && wf.retries == 0)
+        ++faults_issued_;
     iommu_.translate(wf.work.vpn,
-                     [this, w, count_fault] {
-                         if (count_fault)
-                             ++faults_resolved_;
-                         onTranslated(w);
+                     [this, w, count_fault](TranslateResult result) {
+                         onTranslateResult(w, result, count_fault);
                      },
                      demand_paging_,
                      static_cast<Pasid>(params_.device_id));
 }
 
 void
-Gpu::onTranslated(int w)
+Gpu::onTranslateResult(int w, TranslateResult result, bool count_fault)
 {
     Wavefront &wf = wavefronts_[static_cast<std::size_t>(w)];
+    if (result == TranslateResult::Ok) {
+        if (count_fault)
+            ++faults_resolved_;
+        wf.retries = 0;
+        wf.backoff = 0;
+        onTranslated(w);
+        return;
+    }
+    // The translate failed: account the stall so far, free the slot
+    // (waiters must not starve behind a backing-off wavefront).
     stall_ticks_ += now() - wf.stall_start;
+    releaseSlot();
+    FaultInjector *faults = faultInjector();
+    if (result == TranslateResult::Rejected && faults != nullptr
+        && wf.retries < faults->plan().max_retries) {
+        const FaultPlan &plan = faults->plan();
+        ++wf.retries;
+        ++translate_retries_;
+        const BackoffPolicy policy{plan.retry_backoff_initial,
+                                   plan.retry_backoff_max};
+        wf.backoff = policy.next(wf.backoff);
+        trace("wavefront %d retry %d after INVALID, backoff %llu", w,
+              wf.retries,
+              static_cast<unsigned long long>(wf.backoff));
+        scheduleAfter(wf.backoff, [this, w] { beginTranslate(w); },
+                      EventPriority::Device);
+        return;
+    }
+    abortWavefront(w);
+}
+
+void
+Gpu::abortWavefront(int w)
+{
+    Wavefront &wf = wavefronts_[static_cast<std::size_t>(w)];
+    ++aborted_wavefronts_;
+    trace("wavefront %d aborted (retries %d)", w, wf.retries);
+    wf.busy = false;
+    wf.retries = 0;
+    wf.backoff = 0;
+    wf.work = Assignment{};
+    maybeFinishKernel();
+}
+
+void
+Gpu::releaseSlot()
+{
     if (!slot_waiters_.empty()) {
         const int next = slot_waiters_.front();
         slot_waiters_.pop_front();
@@ -194,6 +257,14 @@ Gpu::onTranslated(int w)
     } else {
         --outstanding_;
     }
+}
+
+void
+Gpu::onTranslated(int w)
+{
+    Wavefront &wf = wavefronts_[static_cast<std::size_t>(w)];
+    stall_ticks_ += now() - wf.stall_start;
+    releaseSlot();
     if (wf.work.fresh && demand_paging_ && workload_.fault_replay > 0) {
         // Faulted waves replay before resuming execution. Replay
         // time varies per wave, de-synchronizing the fault stream

@@ -113,6 +113,12 @@ class Gpu : public SimObject
     std::uint64_t faultsIssued() const { return faults_issued_; }
     std::uint64_t faultsResolved() const { return faults_resolved_; }
 
+    /** Wavefronts given up on after exhausting translate retries
+     *  (graceful degradation under fault injection). */
+    std::uint64_t abortedWavefronts() const { return aborted_wavefronts_; }
+    /** Translate attempts re-issued after a Rejected response. */
+    std::uint64_t translateRetries() const { return translate_retries_; }
+
     /** Total wavefront-ticks spent stalled on translations. */
     Tick stallTicks() const { return stall_ticks_; }
 
@@ -138,6 +144,10 @@ class Gpu : public SimObject
         bool busy = false;
         Assignment work;
         Tick stall_start = 0;
+        /** Rejected-translate retries for the current assignment. */
+        int retries = 0;
+        /** Current retry backoff (0 until the first retry). */
+        Tick backoff = 0;
     };
 
     void resetForLaunch();
@@ -145,7 +155,10 @@ class Gpu : public SimObject
     Assignment nextAssignment();
     void beginTranslate(int w);
     void issueTranslate(int w);
+    void onTranslateResult(int w, TranslateResult result,
+                           bool count_fault);
     void onTranslated(int w);
+    void abortWavefront(int w);
     void processChunks(int w);
     void maybeFinishKernel();
     void releaseSlot();
@@ -174,6 +187,8 @@ class Gpu : public SimObject
     std::uint64_t chunks_completed_ = 0;
     std::uint64_t faults_issued_ = 0;
     std::uint64_t faults_resolved_ = 0;
+    std::uint64_t aborted_wavefronts_ = 0;
+    std::uint64_t translate_retries_ = 0;
     Tick stall_ticks_ = 0;
 };
 

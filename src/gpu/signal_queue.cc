@@ -1,5 +1,6 @@
 #include "gpu/signal_queue.h"
 
+#include "fault/fault_injector.h"
 #include "sim/check_hooks.h"
 #include "sim/logging.h"
 
@@ -20,11 +21,53 @@ SignalQueue::SignalQueue(SimContext &ctx, Kernel &kernel,
                        [this] {
                            return static_cast<double>(signals_delivered_);
                        });
+    // Registered only under fault injection so fault-free stat dumps
+    // stay byte-identical to builds without the fault subsystem.
+    if (faultInjector() != nullptr) {
+        stats().addFormula("gpu_signal_queue.resent",
+                           "signals re-sent after injected loss",
+                           [this] {
+                               return static_cast<double>(
+                                   signals_resent_);
+                           });
+        stats().addFormula("gpu_signal_queue.aborted",
+                           "signals aborted by the driver watchdog",
+                           [this] {
+                               return static_cast<double>(
+                                   signals_aborted_);
+                           });
+    }
 }
 
 void
 SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
 {
+    FaultInjector *faults = faultInjector();
+    if (faults != nullptr && faults->loseSignal()) {
+        // The descriptor write is lost in the queue. The loss is
+        // ledgered so conservation sweeps can tell it from a model
+        // leak; the device notices the missing completion and
+        // re-sends after signal_resend (0 = permanent loss).
+        ++signals_sent_;
+        const std::uint64_t id = next_id_++;
+        const auto *source = static_cast<const RequestSource *>(this);
+        faults->recordInjectedLoss(source, id);
+        if (CheckHooks *checks = checkHooks()) {
+            checks->onSsrIssued(source, id);
+            checks->onSsrInjectedLoss(source, id);
+        }
+        trace("signal %llu lost in queue",
+              static_cast<unsigned long long>(id));
+        if (faults->plan().signal_resend > 0) {
+            scheduleAfter(faults->plan().signal_resend,
+                          [this, cb = std::move(on_delivered)]() mutable {
+                              ++signals_resent_;
+                              sendSignal(std::move(cb));
+                          },
+                          EventPriority::Device);
+        }
+        return;
+    }
     ++signals_sent_;
     SsrRequest request;
     request.id = next_id_++;
@@ -36,11 +79,24 @@ SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
             if (cb)
                 cb(core);
         };
+    if (faults != nullptr)
+        request.on_abort = [this] { ++signals_aborted_; };
     if (CheckHooks *checks = checkHooks())
         checks->onSsrIssued(static_cast<const RequestSource *>(this),
                             request.id);
     queue_.push_back(std::move(request));
     considerRaise();
+}
+
+int
+SignalQueue::pickTarget()
+{
+    int target = params_.steer_core;
+    if (target < 0) {
+        target = rr_next_core_;
+        rr_next_core_ = (rr_next_core_ + 1) % kernel_.numCores();
+    }
+    return target;
 }
 
 void
@@ -51,12 +107,31 @@ SignalQueue::considerRaise()
     if (driver_ == nullptr)
         panic("SignalQueue: no driver attached");
     irq_inflight_ = true;
-    int target = params_.steer_core;
-    if (target < 0) {
-        target = rr_next_core_;
-        rr_next_core_ = (rr_next_core_ + 1) % kernel_.numCores();
+    Tick latency = params_.msi_latency;
+    if (FaultInjector *faults = faultInjector()) {
+        const IrqFate fate = faults->irqFate();
+        if (fate.dropped) {
+            // Same watchdog recovery as the IOMMU MSI path: the
+            // queued signals stay put until the re-raise.
+            scheduleAfter(faults->plan().irq_watchdog, [this] {
+                if (irq_inflight_) {
+                    irq_inflight_ = false;
+                    ++irq_recoveries_;
+                    considerRaise();
+                }
+            }, EventPriority::Device);
+            return;
+        }
+        latency += fate.extra_delay;
+        if (fate.duplicated) {
+            scheduleAfter(latency + params_.msi_latency, [this] {
+                kernel_.deliverIrq(pickTarget(),
+                                   driver_->makeInterrupt());
+            }, EventPriority::Device);
+        }
     }
-    scheduleAfter(params_.msi_latency, [this, target] {
+    const int target = pickTarget();
+    scheduleAfter(latency, [this, target] {
         kernel_.deliverIrq(target, driver_->makeInterrupt());
     }, EventPriority::Device);
 }

@@ -54,11 +54,19 @@ class SignalQueue : public SimObject, public RequestSource
     std::uint64_t signalsSent() const { return signals_sent_; }
     std::uint64_t signalsDelivered() const { return signals_delivered_; }
 
+    /** Signals re-sent by the device after an injected queue loss. */
+    std::uint64_t signalsResent() const { return signals_resent_; }
+    /** Signals whose request the driver watchdog aborted. */
+    std::uint64_t signalsAborted() const { return signals_aborted_; }
+    /** Dropped IRQs re-raised by the device watchdog. */
+    std::uint64_t irqRecoveries() const { return irq_recoveries_; }
+
     /** Signals written but not yet drained (invariant audit). */
     std::size_t queueDepth() const { return queue_.size(); }
 
   private:
     void considerRaise();
+    int pickTarget();
 
     Kernel &kernel_;
     SignalQueueParams params_;
@@ -69,6 +77,9 @@ class SignalQueue : public SimObject, public RequestSource
     std::uint64_t next_id_ = 1;
     std::uint64_t signals_sent_ = 0;
     std::uint64_t signals_delivered_ = 0;
+    std::uint64_t signals_resent_ = 0;
+    std::uint64_t signals_aborted_ = 0;
+    std::uint64_t irq_recoveries_ = 0;
 };
 
 } // namespace hiss

@@ -1,7 +1,9 @@
 #include "iommu/iommu.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "fault/fault_injector.h"
 #include "sim/check_hooks.h"
 #include "sim/logging.h"
 
@@ -38,6 +40,25 @@ Iommu::Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params)
                        [this] {
                            return static_cast<double>(iotlb_misses_);
                        });
+    // Registered only under fault injection so fault-free stat dumps
+    // stay byte-identical to builds without the fault subsystem.
+    if (faultInjector() != nullptr) {
+        stats().addFormula("iommu.pprs_rejected",
+                           "PPRs rejected by queue overflow (INVALID)",
+                           [this] {
+                               return static_cast<double>(pprs_rejected_);
+                           });
+        stats().addFormula("iommu.faults_aborted",
+                           "PPRs aborted by the driver watchdog",
+                           [this] {
+                               return static_cast<double>(faults_aborted_);
+                           });
+        stats().addFormula("iommu.msi_recoveries",
+                           "dropped MSIs re-raised by the watchdog",
+                           [this] {
+                               return static_cast<double>(msi_recoveries_);
+                           });
+    }
 }
 
 bool
@@ -68,7 +89,9 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
     if (iotlbContains(vpn)) {
         ++iotlb_hits_;
         scheduleAfter(params_.iotlb_hit_latency,
-                      [cb = std::move(on_complete)] { cb(); },
+                      [cb = std::move(on_complete)] {
+                          cb(TranslateResult::Ok);
+                      },
                       EventPriority::Device);
         return;
     }
@@ -80,7 +103,7 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
         Pfn pfn;
         if (table.translate(vpn, pfn)) {
             insertIotlb(vpn);
-            cb();
+            cb(TranslateResult::Ok);
             return;
         }
         if (!allow_fault) {
@@ -88,7 +111,7 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
             // mapped before launch; install it with no host work.
             table.map(vpn, kernel_.frames().allocate());
             insertIotlb(vpn);
-            cb();
+            cb(TranslateResult::Ok);
             return;
         }
         queuePpr(pasid, vpn, std::move(cb));
@@ -98,6 +121,15 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
 void
 Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
 {
+    FaultInjector *faults = faultInjector();
+    if (faults != nullptr && faults->pprOverflow(ppr_queue_.size())) {
+        // amd_iommu_v2 PPR-log overflow: the request never enters
+        // the queue; the hardware auto-responds INVALID and the
+        // device must retry (or give up).
+        ++pprs_rejected_;
+        on_complete(TranslateResult::Rejected);
+        return;
+    }
     ++pprs_issued_;
     SsrRequest request;
     request.id = next_request_id_++;
@@ -106,13 +138,33 @@ Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
     request.vpn = vpn;
     request.issued_at = now();
     const Tick issued = now();
-    request.on_service_complete =
-        [this, vpn, issued, cb = std::move(on_complete)](CpuCore &) {
-            ++faults_resolved_;
-            fault_latency_.sample(static_cast<double>(now() - issued));
-            insertIotlb(vpn);
-            cb();
+    if (faults != nullptr) {
+        // Recovery-capable shape: completion and the driver-watchdog
+        // abort share the callback through one owner.
+        auto shared_cb = std::make_shared<TranslateCallback>(
+            std::move(on_complete));
+        request.on_service_complete =
+            [this, vpn, issued, shared_cb](CpuCore &) {
+                ++faults_resolved_;
+                fault_latency_.sample(
+                    static_cast<double>(now() - issued));
+                insertIotlb(vpn);
+                (*shared_cb)(TranslateResult::Ok);
+            };
+        request.on_abort = [this, shared_cb] {
+            ++faults_aborted_;
+            (*shared_cb)(TranslateResult::Aborted);
         };
+    } else {
+        request.on_service_complete =
+            [this, vpn, issued, cb = std::move(on_complete)](CpuCore &) {
+                ++faults_resolved_;
+                fault_latency_.sample(
+                    static_cast<double>(now() - issued));
+                insertIotlb(vpn);
+                cb(TranslateResult::Ok);
+            };
+    }
     // Track the PPR inter-arrival EMA for adaptive coalescing.
     const Tick gap = std::min<Tick>(now() - last_ppr_at_, msToTicks(1));
     last_ppr_at_ = now();
@@ -172,8 +224,35 @@ Iommu::raiseMsi()
         panic("Iommu: raiseMsi with no driver attached");
     msi_inflight_ = true;
     ++msis_raised_;
+    Tick latency = params_.msi_latency;
+    if (FaultInjector *faults = faultInjector()) {
+        const IrqFate fate = faults->irqFate();
+        if (fate.dropped) {
+            // The delivery vanishes. A device watchdog notices the
+            // never-acked interrupt and re-raises; the queued PPRs
+            // stay put, so nothing is lost — only delayed.
+            scheduleAfter(faults->plan().irq_watchdog, [this] {
+                if (msi_inflight_) {
+                    msi_inflight_ = false;
+                    ++msi_recoveries_;
+                    considerRaiseMsi();
+                }
+            }, EventPriority::Device);
+            return;
+        }
+        latency += fate.extra_delay;
+        if (fate.duplicated) {
+            // A second, spurious delivery lands one MSI latency
+            // after the real one; it drains whatever is queued then
+            // (usually nothing) and its stray ack is harmless.
+            scheduleAfter(latency + params_.msi_latency, [this] {
+                kernel_.deliverIrq(pickTargetCore(),
+                                   driver_->makeInterrupt());
+            }, EventPriority::Device);
+        }
+    }
     const int target = pickTargetCore();
-    scheduleAfter(params_.msi_latency, [this, target] {
+    scheduleAfter(latency, [this, target] {
         kernel_.deliverIrq(target, driver_->makeInterrupt());
     }, EventPriority::Device);
 }

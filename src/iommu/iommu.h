@@ -70,12 +70,19 @@ struct IommuParams
     Tick msi_latency = 150;
 };
 
+/** How one translate() request ultimately resolved. */
+enum class TranslateResult {
+    Ok,       ///< Translation installed; the access may proceed.
+    Rejected, ///< PPR queue overflow auto-responded INVALID (retryable).
+    Aborted,  ///< Driver watchdog gave up on the request (terminal).
+};
+
 /** The IOMMU: translation front-end and PPR/MSI back-end. */
 class Iommu : public SimObject, public RequestSource
 {
   public:
-    /** Invoked when a translation finally resolves. */
-    using TranslateCallback = std::function<void()>;
+    /** Invoked when a translation finally resolves (or fails). */
+    using TranslateCallback = std::function<void(TranslateResult)>;
 
     Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params);
 
@@ -111,6 +118,13 @@ class Iommu : public SimObject, public RequestSource
     std::uint64_t iotlbMisses() const { return iotlb_misses_; }
     std::uint64_t faultsResolved() const { return faults_resolved_; }
 
+    /** PPRs rejected by injected queue overflow (INVALID response). */
+    std::uint64_t pprsRejected() const { return pprs_rejected_; }
+    /** PPRs whose request the driver watchdog aborted. */
+    std::uint64_t faultsAborted() const { return faults_aborted_; }
+    /** Dropped MSIs re-raised by the device watchdog. */
+    std::uint64_t msiRecoveries() const { return msi_recoveries_; }
+
     /** Current depth of the unsent-PPR queue (tests). */
     std::size_t pprQueueDepth() const { return ppr_queue_.size(); }
 
@@ -145,6 +159,9 @@ class Iommu : public SimObject, public RequestSource
     std::uint64_t iotlb_hits_ = 0;
     std::uint64_t iotlb_misses_ = 0;
     std::uint64_t faults_resolved_ = 0;
+    std::uint64_t pprs_rejected_ = 0;
+    std::uint64_t faults_aborted_ = 0;
+    std::uint64_t msi_recoveries_ = 0;
     Distribution &fault_latency_;
 };
 

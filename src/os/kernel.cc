@@ -38,7 +38,7 @@ Kernel::Kernel(SimContext &ctx, int num_cores,
     // bound workqueue, as amd_iommu_v2 allocates).
     for (int i = 0; i < num_cores; ++i) {
         worker_models_.push_back(std::make_unique<WorkerModel>(
-            *work_queue_, i, qos_governor_.get()));
+            *work_queue_, i, qos_governor_.get(), ctx.faults));
         Thread *worker =
             createThread("kworker/" + std::to_string(i), kPrioWorker,
                          worker_models_.back().get(), i);

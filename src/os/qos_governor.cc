@@ -68,8 +68,7 @@ QosGovernor::nextThrottleDelay(Tick &worker_backoff)
             worker_backoff = 0;
             return 0;
         }
-        worker_backoff = worker_backoff == 0 ? initialBackoff()
-                                             : nextBackoff(worker_backoff);
+        worker_backoff = backoffPolicy().next(worker_backoff);
         noteDelayApplied(worker_backoff);
         return worker_backoff;
       case ThrottlePolicy::TokenBucket: {

@@ -38,6 +38,27 @@ enum class ThrottlePolicy {
     TokenBucket,
 };
 
+/**
+ * Exponential-backoff schedule shared by QoS worker throttling and
+ * the GPU's translate-retry recovery (src/fault): start at
+ * @p initial, double per step, saturate at @p max.
+ */
+struct BackoffPolicy
+{
+    Tick initial = usToTicks(10);
+    Tick max = msToTicks(2);
+
+    /** Next delay after a step currently at @p current (0 = first). */
+    Tick
+    next(Tick current) const
+    {
+        if (current == 0)
+            return initial > max ? max : initial;
+        const Tick doubled = current * 2;
+        return doubled > max ? max : doubled;
+    }
+};
+
 /** QoS governor configuration. */
 struct QosParams
 {
@@ -94,6 +115,14 @@ class QosGovernor : public SimObject, public ExecutionModel
         const Tick doubled = current * 2;
         return doubled > params_.max_backoff ? params_.max_backoff
                                              : doubled;
+    }
+
+    /** The governor's backoff schedule as a reusable policy. */
+    BackoffPolicy
+    backoffPolicy() const
+    {
+        return BackoffPolicy{params_.initial_backoff,
+                             params_.max_backoff};
     }
 
     /** Record that a worker applied a throttle delay. */

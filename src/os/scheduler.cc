@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -118,6 +119,18 @@ Scheduler::sendReschedIpi(CpuCore &target)
     ipi.on_complete = [this, idx](CpuCore &) {
         resched_pending_[idx] = false;
     };
+    if (FaultInjector *faults = faultInjector()) {
+        const Tick delay = faults->ipiDelay();
+        if (delay > 0) {
+            // Injected interconnect delay: the IPI arrives late but
+            // is never lost (resched_pending_ stays set meanwhile).
+            CpuCore *t = &target;
+            scheduleAfter(delay, [t, ipi = std::move(ipi)]() mutable {
+                t->postInterrupt(std::move(ipi));
+            }, EventPriority::Scheduler);
+            return;
+        }
+    }
     target.postInterrupt(std::move(ipi));
 }
 

@@ -53,6 +53,12 @@ struct SsrRequest
     Tick queued_at = 0;
     /** Device-side completion callback (step 6 in Fig. 1). */
     std::function<void(CpuCore &)> on_service_complete;
+    /**
+     * Device-side abort callback: runs instead of
+     * on_service_complete when the driver watchdog gives up on the
+     * request (fault injection). May be empty.
+     */
+    std::function<void()> on_abort;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "os/ssr_driver.h"
 
+#include "fault/fault_injector.h"
 #include "sim/check_hooks.h"
 #include "sim/logging.h"
 
@@ -25,30 +26,119 @@ SsrDriver::SsrDriver(SimContext &ctx, const std::string &name,
                        [this] {
                            return static_cast<double>(requests_drained_);
                        });
+    // Registered only under fault injection so fault-free stat dumps
+    // stay byte-identical to builds without the fault subsystem.
+    if (faultInjector() != nullptr) {
+        stats().addFormula(name + ".aborted",
+                           "requests aborted by the recovery watchdog",
+                           [this] {
+                               return static_cast<double>(
+                                   requests_aborted_);
+                           });
+        stats().addFormula(name + ".suppressed",
+                           "zombie completions suppressed",
+                           [this] {
+                               return static_cast<double>(
+                                   completions_suppressed_);
+                           });
+    }
+}
+
+bool
+SsrDriver::trackingEnabled() const
+{
+    const FaultInjector *faults = faultInjector();
+    return faults != nullptr && faults->plan().request_timeout > 0;
+}
+
+void
+SsrDriver::armWatchdog(std::uint64_t id)
+{
+    Tracked &tracked = tracked_[id];
+    tracked.watchdog =
+        scheduleAfter(faultInjector()->plan().request_timeout,
+                      [this, id] { onWatchdog(id); });
+}
+
+void
+SsrDriver::onWatchdog(std::uint64_t id)
+{
+    const auto it = tracked_.find(id);
+    if (it == tracked_.end() || it->second.aborted)
+        return;
+    if (!it->second.work_queued) {
+        // Still owned by the bottom half; aborting now would corrupt
+        // its pending queue. Re-arm — the bottom half always makes
+        // progress, so this terminates once the request is queued.
+        armWatchdog(id);
+        return;
+    }
+    it->second.aborted = true;
+    ++requests_aborted_;
+    trace("request %llu aborted by watchdog",
+          static_cast<unsigned long long>(id));
+    if (CheckHooks *checks = checkHooks())
+        checks->onSsrAborted(&source_, id);
+    // The device abort handler may re-enter the driver (e.g. the GPU
+    // retries into a fresh request); don't touch map iterators after.
+    auto on_abort = std::move(it->second.on_abort);
+    if (on_abort)
+        on_abort();
+}
+
+void
+SsrDriver::completeRequest(CheckHooks *checks, std::uint64_t id,
+                           const std::function<void(CpuCore &)> &inner,
+                           CpuCore &core)
+{
+    bool aborted = false;
+    const auto it = tracked_.find(id);
+    if (it != tracked_.end()) {
+        if (it->second.watchdog != kInvalidEventId)
+            events().cancel(it->second.watchdog);
+        aborted = it->second.aborted;
+        tracked_.erase(it);
+    }
+    if (checks != nullptr)
+        checks->onSsrCompleted(&source_, id);
+    if (aborted) {
+        // Zombie completion: the watchdog already aborted this
+        // request and told the device. The kworker's CPU time was
+        // genuinely spent, but the device callback is suppressed.
+        ++completions_suppressed_;
+        return;
+    }
+    if (inner)
+        inner(core);
 }
 
 void
 SsrDriver::queueToWorker(SsrRequest request, CpuCore &core)
 {
-    if (inject_drops_ > 0) {
-        // Test-only conservation bug: the request (and its
-        // completion callback) evaporates here.
-        --inject_drops_;
-        return;
+    if (FaultInjector *faults = faultInjector()) {
+        if (faults->takeUnledgeredDrop()) {
+            // Deliberate conservation *bug* (tests): the request and
+            // its completion evaporate with no ledger entry, so an
+            // armed invariant sweep must report a leak.
+            return;
+        }
     }
     request.queued_at = core.now();
-    if (CheckHooks *checks = checkHooks()) {
+    CheckHooks *checks = checkHooks();
+    const auto tracked_it = tracked_.find(request.id);
+    if (tracked_it != tracked_.end())
+        tracked_it->second.work_queued = true;
+    if (checks != nullptr)
         checks->onSsrWorkQueued(&source_, request.id);
+    if (checks != nullptr || tracked_it != tracked_.end()) {
         // Wrap the completion callback so the checker sees the
-        // request leave the pipeline. Only paid when armed.
+        // request leave the pipeline and the recovery layer can
+        // suppress zombie completions. Only paid when armed.
         auto inner = std::move(request.on_service_complete);
-        const void *src = &source_;
         const std::uint64_t id = request.id;
         request.on_service_complete =
-            [checks, src, id, inner = std::move(inner)](CpuCore &c) {
-                checks->onSsrCompleted(src, id);
-                if (inner)
-                    inner(c);
+            [this, checks, id, inner = std::move(inner)](CpuCore &c) {
+                completeRequest(checks, id, inner, c);
             };
     }
     work_queue_.push(services_.makeWorkItem(std::move(request)), &core);
@@ -68,10 +158,16 @@ SsrDriver::makeInterrupt()
         requests_drained_ += drained.size();
         const auto n = static_cast<Tick>(drained.size());
         CheckHooks *checks = checkHooks();
+        const bool tracking = trackingEnabled();
         for (SsrRequest &request : drained) {
             request.drained_at = core.now();
             if (checks)
                 checks->onSsrDrained(&source_, request.id);
+            if (tracking) {
+                tracked_[request.id].on_abort =
+                    std::move(request.on_abort);
+                armWatchdog(request.id);
+            }
             pending_.push_back(std::move(request));
         }
         Tick duration =

@@ -20,6 +20,7 @@
 #define HISS_OS_SSR_DRIVER_H_
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "os/scheduler.h"
@@ -98,14 +99,14 @@ class SsrDriver : public SimObject
     /** The device queue this driver drains (invariant-layer key). */
     const RequestSource *source() const { return &source_; }
 
-    /**
-     * Test-only fault injection: silently discard the next @p n
-     * requests at the bottom-half -> workqueue handoff, losing their
-     * completions. Exists to prove the invariant layer catches
-     * conservation bugs (tests/test_invariants.cc); never used by
-     * model code.
-     */
-    void injectRequestDrops(int n) { inject_drops_ += n; }
+    /** Requests aborted by the recovery watchdog (fault injection). */
+    std::uint64_t requestsAborted() const { return requests_aborted_; }
+    /** Completions of already-aborted requests that were suppressed. */
+    std::uint64_t
+    completionsSuppressed() const
+    {
+        return completions_suppressed_;
+    }
 
   private:
     /** Bottom-half kthread model: pre-process pending requests. */
@@ -125,7 +126,28 @@ class SsrDriver : public SimObject
         bool in_entry_ = false;
     };
 
+    /**
+     * Recovery state for one drained request (created only when a
+     * fault injector with a request_timeout is armed). The watchdog
+     * aborts requests stuck past the bottom half; the completion
+     * wrapper suppresses the device callback of aborted (zombie)
+     * requests and retires their tracking entry.
+     */
+    struct Tracked
+    {
+        EventId watchdog = kInvalidEventId;
+        bool work_queued = false;
+        bool aborted = false;
+        std::function<void()> on_abort;
+    };
+
     void queueToWorker(SsrRequest request, CpuCore &core);
+    void completeRequest(CheckHooks *checks, std::uint64_t id,
+                         const std::function<void(CpuCore &)> &inner,
+                         CpuCore &core);
+    bool trackingEnabled() const;
+    void armWatchdog(std::uint64_t id);
+    void onWatchdog(std::uint64_t id);
 
     SsrDriverParams params_;
     RequestSource &source_;
@@ -136,9 +158,11 @@ class SsrDriver : public SimObject
     BottomHalfModel bh_model_;
 
     std::deque<SsrRequest> pending_;
+    std::unordered_map<std::uint64_t, Tracked> tracked_;
     std::uint64_t interrupts_ = 0;
     std::uint64_t requests_drained_ = 0;
-    int inject_drops_ = 0;
+    std::uint64_t requests_aborted_ = 0;
+    std::uint64_t completions_suppressed_ = 0;
 };
 
 } // namespace hiss

@@ -1,5 +1,6 @@
 #include "os/workqueue.h"
 
+#include "fault/fault_injector.h"
 #include "os/qos_governor.h"
 #include "sim/logging.h"
 
@@ -68,8 +69,9 @@ WorkQueue::pop(int core)
     return item;
 }
 
-WorkerModel::WorkerModel(WorkQueue &queue, int core, QosGovernor *governor)
-    : queue_(queue), core_(core), governor_(governor)
+WorkerModel::WorkerModel(WorkQueue &queue, int core, QosGovernor *governor,
+                         FaultInjector *faults)
+    : queue_(queue), core_(core), governor_(governor), faults_(faults)
 {
 }
 
@@ -91,6 +93,18 @@ WorkerModel::nextBurst(CpuCore &core)
                 BurstRequest br;
                 br.kind = BurstRequest::Kind::Sleep;
                 br.duration = delay;
+                return br;
+            }
+        }
+        // Injected transient stall (e.g. the kworker preempted or
+        // blocked on an unmodeled resource). Redrawn on every wake,
+        // so consecutive stalls are geometrically distributed.
+        if (faults_ != nullptr) {
+            const Tick stall = faults_->kworkerStall();
+            if (stall > 0) {
+                BurstRequest br;
+                br.kind = BurstRequest::Kind::Sleep;
+                br.duration = stall;
                 return br;
             }
         }

@@ -30,6 +30,7 @@
 namespace hiss {
 
 class QosGovernor;
+class FaultInjector;
 
 /** One deferred unit of kernel work. */
 struct WorkItem
@@ -132,9 +133,12 @@ class WorkerModel : public ExecutionModel
      * @param core     the core this worker is bound to.
      * @param governor optional QoS governor consulted before each
      *                 SSR item (nullptr = no throttling).
+     * @param faults   optional fault injector that can stall this
+     *                 worker before it takes an item (nullptr = none).
      */
     WorkerModel(WorkQueue &queue, int core,
-                QosGovernor *governor = nullptr);
+                QosGovernor *governor = nullptr,
+                FaultInjector *faults = nullptr);
 
     BurstRequest nextBurst(CpuCore &core) override;
     void onBurstDone(CpuCore &core, Tick ran,
@@ -148,6 +152,7 @@ class WorkerModel : public ExecutionModel
     WorkQueue &queue_;
     int core_;
     QosGovernor *governor_;
+    FaultInjector *faults_;
     std::optional<WorkItem> current_;
     Tick remaining_ = 0;
     Tick backoff_ = 0;

@@ -53,6 +53,21 @@ class CheckHooks
     /** The service completed and the device callback ran. */
     virtual void onSsrCompleted(const void *source,
                                 std::uint64_t id) = 0;
+
+    /**
+     * The driver watchdog aborted the request (graceful degradation
+     * under fault injection). The request stays accounted until its
+     * zombie work item retires through onSsrCompleted.
+     */
+    virtual void onSsrAborted(const void *source, std::uint64_t id) = 0;
+
+    /**
+     * The fault injector permanently lost the request at the device
+     * (e.g. GPU signal-queue loss). Must match the injector's loss
+     * ledger or the checker reports a genuine leak.
+     */
+    virtual void onSsrInjectedLoss(const void *source,
+                                   std::uint64_t id) = 0;
 };
 
 } // namespace hiss

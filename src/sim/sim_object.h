@@ -21,6 +21,7 @@ namespace hiss {
 
 class TraceWriter;
 class CheckHooks;
+class FaultInjector;
 
 /** Shared simulation context handed to every SimObject. */
 struct SimContext
@@ -32,6 +33,8 @@ struct SimContext
     TraceWriter *trace = nullptr;
     /** Optional invariant-layer hooks (src/check); may be null. */
     CheckHooks *checks = nullptr;
+    /** Optional fault injector (src/fault); null in fault-free runs. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Base class for every simulated component. */
@@ -63,6 +66,9 @@ class SimObject
 
     /** The armed invariant-layer hooks, or nullptr (the common case). */
     CheckHooks *checkHooks() const { return ctx_.checks; }
+
+    /** The fault injector, or nullptr in fault-free runs. */
+    FaultInjector *faultInjector() const { return ctx_.faults; }
 
     /** Schedule a member callback after @p delay ticks. */
     EventId

@@ -3,8 +3,9 @@
  * Tests for the runtime invariant layer (src/check).
  *
  * The load-bearing case is fault injection: a deliberately dropped
- * PPR work item (SsrDriver::injectRequestDrops) must be caught by
- * the SSR conservation sweep — in both the threaded and monolithic
+ * PPR work item (FaultPlan::unledgered_drops — a drop the injector
+ * does NOT ledger, i.e. a genuine bug) must be caught by the SSR
+ * conservation sweep — in both the threaded and monolithic
  * bottom-half modes — while a clean run sweeps repeatedly without
  * firing and produces bit-identical results to an unchecked run.
  */
@@ -46,9 +47,10 @@ TEST(Invariants, CatchesDroppedRequest)
 {
     // The acceptance fault: a PPR silently discarded between the top
     // and bottom half. Conservation must notice at the next sweep.
-    HeteroSystem sys(checkedConfig(7));
+    SystemConfig config = checkedConfig(7);
+    config.fault.unledgered_drops = 1;
+    HeteroSystem sys(config);
     sys.launchGpu(gpu_suite::params("ubench"), true, true);
-    sys.ssrDriver().injectRequestDrops(1);
     EXPECT_THROW(sys.runUntil(msToTicks(5)), check::InvariantError);
 }
 
@@ -56,9 +58,9 @@ TEST(Invariants, CatchesDroppedRequestInMonolithicMode)
 {
     SystemConfig config = checkedConfig(9);
     config.ssr_driver.monolithic_bottom_half = true;
+    config.fault.unledgered_drops = 1;
     HeteroSystem sys(config);
     sys.launchGpu(gpu_suite::params("ubench"), true, true);
-    sys.ssrDriver().injectRequestDrops(1);
     EXPECT_THROW(sys.runUntil(msToTicks(5)), check::InvariantError);
 }
 
@@ -70,18 +72,19 @@ TEST(Invariants, UnarmedRunIgnoresTheFault)
     SystemConfig config;
     config.seed = 7;
     config.check_invariants = false;
+    config.fault.unledgered_drops = 1;
     HeteroSystem sys(config);
     EXPECT_EQ(sys.checkMonitor(), nullptr);
     sys.launchGpu(gpu_suite::params("ubench"), true, true);
-    sys.ssrDriver().injectRequestDrops(1);
     EXPECT_NO_THROW(sys.runUntil(msToTicks(5)));
 }
 
 TEST(Invariants, ViolationMessageNamesTickAndSeed)
 {
-    HeteroSystem sys(checkedConfig(11));
+    SystemConfig config = checkedConfig(11);
+    config.fault.unledgered_drops = 1;
+    HeteroSystem sys(config);
     sys.launchGpu(gpu_suite::params("ubench"), true, true);
-    sys.ssrDriver().injectRequestDrops(1);
     try {
         sys.runUntil(msToTicks(5));
         FAIL() << "expected an InvariantError";

@@ -42,7 +42,7 @@ TEST_F(IommuTest, MappedPageResolvesViaWalkThenIotlb)
     kernel->gpuPageTable().map(50, 7);
     int done = 0;
     Tick first_done = 0;
-    iommu->translate(50, [&] {
+    iommu->translate(50, [&](TranslateResult) {
         ++done;
         first_done = events.now();
     });
@@ -54,7 +54,7 @@ TEST_F(IommuTest, MappedPageResolvesViaWalkThenIotlb)
     // Second access: IOTLB hit, much faster.
     const Tick start = events.now();
     Tick second_done = 0;
-    iommu->translate(50, [&] { second_done = events.now(); });
+    iommu->translate(50, [&](TranslateResult) { second_done = events.now(); });
     events.runUntil(start + usToTicks(10));
     EXPECT_EQ(second_done - start, iommu->params().iotlb_hit_latency);
     EXPECT_EQ(iommu->iotlbHits(), 1u);
@@ -65,7 +65,7 @@ TEST_F(IommuTest, UnmappedPageFaultsThroughFullChain)
 {
     build();
     int done = 0;
-    iommu->translate(99, [&] { ++done; });
+    iommu->translate(99, [&](TranslateResult) { ++done; });
     events.runUntil(msToTicks(2));
     EXPECT_EQ(done, 1);
     EXPECT_EQ(iommu->pprsIssued(), 1u);
@@ -80,7 +80,7 @@ TEST_F(IommuTest, PinnedModeAutoMapsWithoutHost)
 {
     build();
     int done = 0;
-    iommu->translate(123, [&] { ++done; }, /*allow_fault=*/false);
+    iommu->translate(123, [&](TranslateResult) { ++done; }, /*allow_fault=*/false);
     events.runUntil(usToTicks(10));
     EXPECT_EQ(done, 1);
     EXPECT_EQ(iommu->pprsIssued(), 0u);
@@ -95,12 +95,12 @@ TEST_F(IommuTest, IotlbEvictsFifoWhenFull)
     build(params);
     for (Vpn v = 0; v < 6; ++v) {
         kernel->gpuPageTable().map(v, v + 100);
-        iommu->translate(v, [] {});
+        iommu->translate(v, [](TranslateResult) {});
         events.runUntil(events.now() + usToTicks(2));
     }
     // vpns 0 and 1 were evicted; re-access misses the IOTLB.
     const std::uint64_t misses_before = iommu->iotlbMisses();
-    iommu->translate(0, [] {});
+    iommu->translate(0, [](TranslateResult) {});
     events.runUntil(events.now() + usToTicks(2));
     EXPECT_EQ(iommu->iotlbMisses(), misses_before + 1);
 }
@@ -112,7 +112,7 @@ TEST_F(IommuTest, SingleCoreSteeringTargetsOnlyThatCore)
     params.steer_core = 2;
     build(params);
     for (Vpn v = 500; v < 510; ++v) {
-        iommu->translate(v, [] {});
+        iommu->translate(v, [](TranslateResult) {});
         events.runUntil(events.now() + usToTicks(60));
     }
     events.runUntil(events.now() + msToTicks(1));
@@ -138,10 +138,10 @@ TEST_F(IommuTest, CoalescingBatchesPprsIntoOneMsi)
     params.coalesce_window = usToTicks(13);
     build(params);
     // Three faults well inside one window.
-    iommu->translate(700, [] {});
+    iommu->translate(700, [](TranslateResult) {});
     events.runUntil(usToTicks(1));
-    iommu->translate(701, [] {});
-    iommu->translate(702, [] {});
+    iommu->translate(701, [](TranslateResult) {});
+    iommu->translate(702, [](TranslateResult) {});
     events.runUntil(usToTicks(5));
     // No MSI yet: the window is still open.
     EXPECT_EQ(iommu->msisRaised(), 0u);
@@ -158,7 +158,7 @@ TEST_F(IommuTest, CoalescingBurstThresholdRaisesEarly)
     params.coalesce_burst = 4;             // ...but a small burst cap.
     build(params);
     for (Vpn v = 800; v < 804; ++v)
-        iommu->translate(v, [] {});
+        iommu->translate(v, [](TranslateResult) {});
     events.runUntil(usToTicks(50));
     EXPECT_GE(iommu->msisRaised(), 1u); // Raised well before 5 ms.
 }
@@ -174,7 +174,7 @@ TEST_F(IommuTest, CoalescingValidation)
 TEST_F(IommuTest, FaultLatencyDistributionSampled)
 {
     build();
-    iommu->translate(900, [] {});
+    iommu->translate(900, [](TranslateResult) {});
     events.runUntil(msToTicks(2));
     const auto *latency = dynamic_cast<const Distribution *>(
         stats.find("iommu.fault_latency"));
@@ -187,8 +187,8 @@ TEST_F(IommuTest, DuplicateFaultsBothResolve)
 {
     build();
     int done = 0;
-    iommu->translate(950, [&] { ++done; });
-    iommu->translate(950, [&] { ++done; });
+    iommu->translate(950, [&](TranslateResult) { ++done; });
+    iommu->translate(950, [&](TranslateResult) { ++done; });
     events.runUntil(msToTicks(2));
     EXPECT_EQ(done, 2);
     EXPECT_TRUE(kernel->gpuPageTable().isMapped(950));
@@ -198,9 +198,9 @@ TEST_F(IommuTest, PasidsFaultIntoSeparateAddressSpaces)
 {
     build();
     int done = 0;
-    iommu->translate(0x111, [&] { ++done; }, true, /*pasid=*/0);
+    iommu->translate(0x111, [&](TranslateResult) { ++done; }, true, /*pasid=*/0);
     events.runUntil(msToTicks(2));
-    iommu->translate(0x222, [&] { ++done; }, true, /*pasid=*/7);
+    iommu->translate(0x222, [&](TranslateResult) { ++done; }, true, /*pasid=*/7);
     events.runUntil(msToTicks(4));
     EXPECT_EQ(done, 2);
     EXPECT_TRUE(kernel->gpuPageTable(0).isMapped(0x111));
@@ -222,7 +222,7 @@ TEST_F(IommuTest, AdaptiveCoalescingShortensSparseStreamWait)
     int done = 0;
     Tick done_at = 0;
     const Tick start = events.now();
-    iommu->translate(0x800, [&] {
+    iommu->translate(0x800, [&](TranslateResult) {
         ++done;
         done_at = events.now();
     });

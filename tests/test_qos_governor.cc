@@ -104,6 +104,81 @@ TEST(QosGovernorSampling, DetectsSsrOverload)
     EXPECT_FALSE(governor->overThreshold());
 }
 
+TEST(QosGovernorBackoff, PolicyStartsDoublesAndClampsExactly)
+{
+    // The schedule shared with the GPU's translate-retry recovery:
+    // first step is `initial`, each further step doubles, and the
+    // clamp lands exactly on `max` (not the next power of two).
+    BackoffPolicy policy{usToTicks(5), usToTicks(32)};
+    EXPECT_EQ(policy.next(0), usToTicks(5));
+    EXPECT_EQ(policy.next(usToTicks(5)), usToTicks(10));
+    EXPECT_EQ(policy.next(usToTicks(10)), usToTicks(20));
+    EXPECT_EQ(policy.next(usToTicks(20)), usToTicks(32));
+    EXPECT_EQ(policy.next(usToTicks(32)), usToTicks(32));
+
+    BackoffPolicy degenerate{usToTicks(50), usToTicks(20)};
+    EXPECT_EQ(degenerate.next(0), usToTicks(20));
+}
+
+/**
+ * Worker-visible saturation: under sustained overload the throttle
+ * delay doubles to exactly max_backoff and stays there; one
+ * under-threshold decision resets the worker's state so the next
+ * overload restarts from the initial delay.
+ */
+TEST(QosGovernorSampling, ThrottleDelaySaturatesAtMaxAndResets)
+{
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx{events, stats, 13};
+    KernelParams kparams;
+    kparams.qos.enabled = true;
+    kparams.qos.threshold = 0.05;
+    kparams.qos.max_backoff = usToTicks(40);
+    kparams.housekeeping_period = 0;
+    Kernel kernel(ctx, 2, CpuCoreParams{}, kparams);
+    QosGovernor *governor = kernel.qosGovernor();
+    ASSERT_NE(governor, nullptr);
+
+    const auto flood = [&events, &kernel](Tick start) {
+        for (int i = 0; i < 200; ++i) {
+            events.schedule(start + static_cast<Tick>(i) * usToTicks(5),
+                            [&kernel, i] {
+                                Irq ssr;
+                                ssr.label = "flood";
+                                ssr.ssr_related = true;
+                                ssr.on_start = [](CpuCore &) {
+                                    return usToTicks(4);
+                                };
+                                kernel.deliverIrq(i % 2, std::move(ssr));
+                            });
+        }
+    };
+    flood(events.now());
+    events.runUntil(usToTicks(600));
+    ASSERT_TRUE(governor->overThreshold());
+
+    Tick backoff = 0;
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), usToTicks(10));
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), usToTicks(20));
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), usToTicks(40));
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), usToTicks(40));
+    EXPECT_EQ(backoff, usToTicks(40));
+
+    // A quiet window relaxes the governor; the first under-threshold
+    // decision costs nothing and resets the worker's backoff.
+    events.runUntil(events.now() + msToTicks(2));
+    ASSERT_FALSE(governor->overThreshold());
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), Tick{0});
+    EXPECT_EQ(backoff, Tick{0});
+
+    // A second overload starts over from the initial delay.
+    flood(events.now());
+    events.runUntil(events.now() + usToTicks(600));
+    ASSERT_TRUE(governor->overThreshold());
+    EXPECT_EQ(governor->nextThrottleDelay(backoff), usToTicks(10));
+}
+
 TEST(QosGovernorSampling, QuietSystemIsUnderThreshold)
 {
     EventQueue events;

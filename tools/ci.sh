@@ -1,35 +1,99 @@
 #!/usr/bin/env bash
 # Local CI sweep: configure and build each CMake preset, run the
 # tier-1 test suite, then the randomized fuzz corpus (ctest -L fuzz).
+# The fault-injection corpus (ctest -L fault) additionally runs under
+# the asan preset, where a recovery-path use-after-free would be loud.
 #
-# Usage: tools/ci.sh [preset...]   (default: default check asan tsan)
-#        tools/ci.sh bench         (substrate + event-queue microbench
-#                                   baselines -> BENCH_*.json at repo root)
+# Usage: tools/ci.sh [preset...]      (default: default check asan tsan)
+#        tools/ci.sh bench            (regression gate: fresh microbench
+#                                      runs vs committed BENCH_*.json;
+#                                      fails on >20% items_per_second
+#                                      loss of any *Batch median)
+#        tools/ci.sh bench --update   (rewrite the committed baselines)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
-# `bench` mode: build the RelWithDebInfo preset and refresh the
-# committed microbenchmark baselines. Compare a fresh run against the
-# checked-in JSON to spot substrate/event-queue regressions; the
-# interesting figures are items_per_second of the *Batch benchmarks
-# and their ratio to the scalar variants (the batching win — the
-# batched cache/BP paths are expected to stay >= 2x scalar at burst
-# size, see docs/TESTING.md).
+# `bench` mode: build the RelWithDebInfo preset, run the substrate and
+# event-queue microbenchmarks fresh, and gate on the committed
+# baselines. The gated figures are the items_per_second medians of the
+# *Batch benchmarks — the batching win this repo's hot paths rest on
+# (see docs/TESTING.md); scalar medians and stddev/cv rows are noise
+# and stay ungated.
 if [ "${1-}" = "bench" ]; then
+    update=false
+    [ "${2-}" = "--update" ] && update=true
     cmake --preset default
     cmake --build --preset default -j "$jobs" \
         --target microbench_substrate microbench_event_queue
     bench_flags=(--benchmark_format=json --benchmark_min_time=0.5
                  --benchmark_repetitions=3
                  --benchmark_report_aggregates_only=true)
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
     build-default/bench/microbench_substrate "${bench_flags[@]}" \
-        > BENCH_substrate.json
+        > "$tmpdir/BENCH_substrate.json"
     build-default/bench/microbench_event_queue "${bench_flags[@]}" \
-        > BENCH_event_queue.json
-    echo "ci: bench baselines written (BENCH_substrate.json," \
-         "BENCH_event_queue.json)"
+        > "$tmpdir/BENCH_event_queue.json"
+
+    if $update; then
+        cp "$tmpdir/BENCH_substrate.json" BENCH_substrate.json
+        cp "$tmpdir/BENCH_event_queue.json" BENCH_event_queue.json
+        echo "ci: bench baselines rewritten (BENCH_substrate.json," \
+             "BENCH_event_queue.json)"
+        exit 0
+    fi
+
+    fail=0
+    for b in substrate event_queue; do
+        base="BENCH_$b.json"
+        fresh="$tmpdir/BENCH_$b.json"
+        if [ ! -f "$base" ]; then
+            echo "ci: bench: $base missing (run tools/ci.sh bench --update)"
+            fail=1
+            continue
+        fi
+        # Pair each "name" with the following "items_per_second"; gate
+        # fresh/base >= 0.8 for every *Batch median in the baseline.
+        if ! awk -v thresh=0.8 '
+            /"name":/ { gsub(/[",]/, ""); name = $2 }
+            /"items_per_second":/ {
+                gsub(/,/, "")
+                value = $2 + 0
+                if (name ~ /Batch.*_median$/) {
+                    if (NR == FNR) base[name] = value
+                    else fresh[name] = value
+                }
+            }
+            END {
+                status = 0
+                for (n in base) {
+                    if (!(n in fresh)) {
+                        printf "ci: bench: %s missing from fresh run\n", n
+                        status = 1
+                        continue
+                    }
+                    ratio = fresh[n] / base[n]
+                    if (ratio < thresh) {
+                        printf "ci: bench REGRESSION %s: %.3e -> %.3e items/s (%.2fx)\n", \
+                               n, base[n], fresh[n], ratio
+                        status = 1
+                    } else {
+                        printf "ci: bench ok %-40s %.2fx of baseline\n", n, ratio
+                    }
+                }
+                exit status
+            }' "$base" "$fresh"; then
+            fail=1
+        fi
+    done
+    if [ "$fail" -ne 0 ]; then
+        echo "ci: bench gate FAILED (>20% regression or missing data;" \
+             "refresh intentionally with tools/ci.sh bench --update)"
+        exit 1
+    fi
+    echo "ci: bench gate passed"
     exit 0
 fi
 
@@ -42,8 +106,12 @@ for p in "${presets[@]}"; do
     echo "=== preset: $p ==="
     cmake --preset "$p"
     cmake --build --preset "$p" -j "$jobs"
-    ctest --test-dir "build-$p" --output-on-failure -j "$jobs" -LE fuzz
+    ctest --test-dir "build-$p" --output-on-failure -j "$jobs" \
+        -LE 'fuzz|fault'
     ctest --test-dir "build-$p" --output-on-failure -L fuzz
+    if [ "$p" = "asan" ]; then
+        ctest --test-dir "build-$p" --output-on-failure -L fault
+    fi
 done
 
 echo "ci: all presets green (${presets[*]})"

@@ -47,6 +47,7 @@ struct Options
     std::uint64_t seed_base = 1;
     int jobs = 0; // 0 = all hardware threads.
     bool check = true;
+    bool faults = false;
     bool shrink = true;
     bool verbose = false;
 };
@@ -77,6 +78,7 @@ usage()
         "  --jobs N        parallel workers (default: all threads)\n"
         "  --check         arm the invariant layer (default)\n"
         "  --no-check      run without invariant sweeps\n"
+        "  --faults        derive a fault-injection schedule per seed\n"
         "  --no-shrink     skip config shrinking on failure\n"
         "  --verbose       keep simulator warnings on stderr\n"
         "\n"
@@ -136,6 +138,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.check = true;
         } else if (arg == "--no-check") {
             opt.check = false;
+        } else if (arg == "--faults") {
+            opt.faults = true;
         } else if (arg == "--shrink") {
             opt.shrink = true;
         } else if (arg == "--no-shrink") {
@@ -162,7 +166,7 @@ parseArgs(int argc, char **argv, Options &opt)
  * the corpus — bump the stream name if that is ever necessary).
  */
 std::unique_ptr<FuzzCase>
-makeCase(std::uint64_t seed, bool check)
+makeCase(std::uint64_t seed, bool check, bool faults)
 {
     const std::vector<std::string> &cpus = parsec::benchmarkNames();
     const std::vector<std::string> &gpus = gpu_suite::workloadNames();
@@ -216,6 +220,31 @@ makeCase(std::uint64_t seed, bool check)
     fc->base.check_period =
         usToTicks(static_cast<double>(rng.uniformInt(20, 200)));
 
+    // Fault schedules come from their own stream so enabling --faults
+    // never disturbs the frozen "hiss_fuzz.config" draw order above.
+    if (faults) {
+        Rng frng(seed, "hiss_fuzz.faults");
+        FaultPlan &f = fc->config.fault;
+        if (frng.withProbability(0.6))
+            f.ppr_queue_capacity =
+                static_cast<std::size_t>(frng.uniformInt(4, 48));
+        // Always at least 1% MSI loss: the corpus must prove recovery
+        // under sustained PPR-chain faults, not just survive zeros.
+        f.irq_drop_prob = frng.uniformReal(0.01, 0.10);
+        if (frng.withProbability(0.5))
+            f.irq_dup_prob = frng.uniformReal(0.005, 0.05);
+        if (frng.withProbability(0.5))
+            f.irq_delay_prob = frng.uniformReal(0.01, 0.10);
+        if (frng.withProbability(0.4))
+            f.ipi_delay_prob = frng.uniformReal(0.005, 0.05);
+        if (frng.withProbability(0.4))
+            f.kworker_stall_prob = frng.uniformReal(0.005, 0.05);
+        if (frng.withProbability(0.5))
+            f.signal_loss_prob = frng.uniformReal(0.01, 0.10);
+        f.request_timeout = usToTicks(frng.uniformReal(200.0, 2000.0));
+        f.max_retries = static_cast<int>(frng.uniformInt(2, 10));
+    }
+
     fc->config.seed = seed;
     fc->config.check_invariants = check;
     fc->config.base_system = &fc->base;
@@ -225,11 +254,12 @@ makeCase(std::uint64_t seed, bool check)
 std::string
 describeCase(const FuzzCase &fc)
 {
-    char buf[256];
+    char buf[384];
     std::snprintf(
         buf, sizeof buf,
         "cpu='%s' gpu='%s' cores=%d mitigation=%s%s qos=%g policy=%s "
-        "demand_paging=%d accels=%d window=%.1fms cap=%.1fms",
+        "demand_paging=%d accels=%d window=%.1fms cap=%.1fms "
+        "faults=[%s]",
         fc.cpu_app.c_str(), fc.gpu_app.c_str(), fc.base.num_cores,
         fc.config.mitigation.label().c_str(),
         fc.base.iommu.adaptive_coalescing ? "+adaptive" : "",
@@ -239,7 +269,8 @@ describeCase(const FuzzCase &fc)
         fc.config.gpu_demand_paging ? 1 : 0,
         1 + fc.config.extra_accelerators,
         ticksToMs(fc.config.rate_window),
-        ticksToMs(fc.config.max_sim_time));
+        ticksToMs(fc.config.max_sim_time),
+        fc.config.fault.label().c_str());
     return buf;
 }
 
@@ -247,7 +278,7 @@ describeCase(const FuzzCase &fc)
 std::string
 reproCommand(const FuzzCase &fc)
 {
-    char buf[512];
+    char buf[768];
     int n = std::snprintf(
         buf, sizeof buf, "hiss_sim --check --seed %llu --cores %d",
         static_cast<unsigned long long>(fc.seed), fc.base.num_cores);
@@ -276,6 +307,28 @@ reproCommand(const FuzzCase &fc)
         append(" --qos %g --qos-policy %s", fc.config.qos_threshold,
                fc.base.kernel.qos.policy == ThrottlePolicy::TokenBucket
                    ? "bucket" : "backoff");
+    const FaultPlan &f = fc.config.fault;
+    if (f.enabled()) {
+        if (f.ppr_queue_capacity > 0)
+            append(" --fault-ppr-capacity %llu",
+                   static_cast<unsigned long long>(
+                       f.ppr_queue_capacity));
+        if (f.irq_drop_prob > 0.0)
+            append(" --fault-drop-irq %.3f", f.irq_drop_prob);
+        if (f.irq_dup_prob > 0.0)
+            append(" --fault-dup-irq %.3f", f.irq_dup_prob);
+        if (f.irq_delay_prob > 0.0)
+            append(" --fault-delay-irq %.3f", f.irq_delay_prob);
+        if (f.ipi_delay_prob > 0.0)
+            append(" --fault-delay-ipi %.3f", f.ipi_delay_prob);
+        if (f.kworker_stall_prob > 0.0)
+            append(" --fault-stall-kworker %.3f",
+                   f.kworker_stall_prob);
+        if (f.signal_loss_prob > 0.0)
+            append(" --fault-lose-signal %.3f", f.signal_loss_prob);
+        append(" --fault-timeout %.0f --fault-retries %d",
+               ticksToUs(f.request_timeout), f.max_retries);
+    }
     append(" --duration %.3f", ticksToMs(fc.config.max_sim_time));
     return buf;
 }
@@ -308,6 +361,13 @@ shrinkCase(const FuzzCase &failing)
         bool (*apply)(FuzzCase &);
     };
     static const Step steps[] = {
+        {"disable fault injection",
+         [](FuzzCase &fc) {
+             if (!fc.config.fault.enabled())
+                 return false;
+             fc.config.fault = FaultPlan{};
+             return true;
+         }},
         {"drop extra accelerators",
          [](FuzzCase &fc) {
              if (fc.config.extra_accelerators == 0)
@@ -395,7 +455,7 @@ run(const Options &opt)
     for (int i = 0; i < opt.seeds; ++i) {
         cases.push_back(
             makeCase(opt.seed_base + static_cast<std::uint64_t>(i),
-                     opt.check));
+                     opt.check, opt.faults));
         const FuzzCase &fc = *cases.back();
         cells.push_back({fc.cpu_app, fc.gpu_app, fc.config, fc.mode, 1});
     }
@@ -426,15 +486,16 @@ run(const Options &opt)
         }
     }
 
-    std::printf("fuzz: %d seed%s (%llu..%llu), %d job%s, checks %s: "
-                "%d failure%s\n",
+    std::printf("fuzz: %d seed%s (%llu..%llu), %d job%s, checks %s, "
+                "faults %s: %d failure%s\n",
                 opt.seeds, opt.seeds == 1 ? "" : "s",
                 static_cast<unsigned long long>(opt.seed_base),
                 static_cast<unsigned long long>(
                     opt.seed_base
                     + static_cast<std::uint64_t>(opt.seeds) - 1),
                 batch.jobs(), batch.jobs() == 1 ? "" : "s",
-                opt.check ? "armed" : "off", failures,
+                opt.check ? "armed" : "off",
+                opt.faults ? "on" : "off", failures,
                 failures == 1 ? "" : "s");
     return failures == 0 ? 0 : 1;
 }

@@ -53,6 +53,7 @@ struct Options
     ThrottlePolicy qos_policy = ThrottlePolicy::ExponentialBackoff;
     double duration_ms = 0.0; // 0 = until CPU app completes.
     std::uint64_t seed = 1;
+    FaultPlan fault;
     int reps = 1;
     int jobs = 0; // 0 = all hardware threads.
     std::string stats_path;
@@ -86,6 +87,17 @@ usage()
         "QoS (paper Section VI):\n"
         "  --qos threshold      cap SSR CPU-time fraction (e.g. 0.01)\n"
         "  --qos-policy P       backoff (paper) or bucket\n"
+        "\n"
+        "Fault injection (docs/MODEL.md failure model):\n"
+        "  --fault-ppr-capacity N   finite PPR queue: overflow INVALID\n"
+        "  --fault-drop-irq p       drop each SSR MSI with prob p\n"
+        "  --fault-dup-irq p        duplicate each SSR MSI with prob p\n"
+        "  --fault-delay-irq p      delay each SSR MSI with prob p\n"
+        "  --fault-delay-ipi p      delay each resched IPI with prob p\n"
+        "  --fault-stall-kworker p  transiently stall kworkers, prob p\n"
+        "  --fault-lose-signal p    lose GPU signal-queue entries\n"
+        "  --fault-timeout us       driver watchdog timeout (0 = off)\n"
+        "  --fault-retries N        GPU translate retries before abort\n"
         "\n"
         "Run control and output:\n"
         "  --cores N            CPU core count (default 4, Table II)\n"
@@ -255,6 +267,60 @@ parseArgs(int argc, char **argv, Options &opt)
                 fatal("--jobs needs a value");
             opt.jobs = static_cast<int>(
                 parseInt("--jobs", v, 0, 4096));
+        } else if (arg == "--fault-ppr-capacity") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-ppr-capacity needs a value");
+            opt.fault.ppr_queue_capacity = static_cast<std::size_t>(
+                parseInt("--fault-ppr-capacity", v, 1, 1'000'000));
+        } else if (arg == "--fault-drop-irq") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-drop-irq needs a probability");
+            opt.fault.irq_drop_prob =
+                parseReal("--fault-drop-irq", v, 0.0, 1.0);
+        } else if (arg == "--fault-dup-irq") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-dup-irq needs a probability");
+            opt.fault.irq_dup_prob =
+                parseReal("--fault-dup-irq", v, 0.0, 1.0);
+        } else if (arg == "--fault-delay-irq") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-delay-irq needs a probability");
+            opt.fault.irq_delay_prob =
+                parseReal("--fault-delay-irq", v, 0.0, 1.0);
+        } else if (arg == "--fault-delay-ipi") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-delay-ipi needs a probability");
+            opt.fault.ipi_delay_prob =
+                parseReal("--fault-delay-ipi", v, 0.0, 1.0);
+        } else if (arg == "--fault-stall-kworker") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-stall-kworker needs a probability");
+            opt.fault.kworker_stall_prob =
+                parseReal("--fault-stall-kworker", v, 0.0, 1.0);
+        } else if (arg == "--fault-lose-signal") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-lose-signal needs a probability");
+            opt.fault.signal_loss_prob =
+                parseReal("--fault-lose-signal", v, 0.0, 1.0);
+        } else if (arg == "--fault-timeout") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-timeout needs microseconds");
+            opt.fault.request_timeout =
+                usToTicks(parseReal("--fault-timeout", v, 0.0, 1e6));
+        } else if (arg == "--fault-retries") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--fault-retries needs a value");
+            opt.fault.max_retries = static_cast<int>(
+                parseInt("--fault-retries", v, 0, 1'000));
         } else if (arg == "--stats") {
             const char *v = need_value(i);
             if (v == nullptr)
@@ -339,6 +405,7 @@ runAveraged(const Options &opt)
     config.qos_threshold = opt.qos_threshold;
     config.gpu_demand_paging = opt.demand_paging;
     config.check_invariants = opt.check;
+    config.fault = opt.fault;
     if (opt.duration_ms > 0.0)
         config.rate_window = msToTicks(opt.duration_ms);
 
@@ -414,6 +481,7 @@ run(const Options &opt)
         config.num_cores = opt.cores;
     if (opt.check)
         config.check_invariants = true;
+    config.fault = opt.fault;
     MitigationConfig mitigation;
     mitigation.steer_to_single_core = opt.steer;
     mitigation.steer_core = opt.steer_core;

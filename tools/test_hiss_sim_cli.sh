@@ -60,6 +60,29 @@ expect_clean_error "--steer core out of range" "$sim" --gpu ubench --steer 7
 expect_clean_error "seed+reps overflow" \
     "$sim" --cpu x264 --seed 18446744073709551615 --reps 2
 
+# Fault-injection flags: listed in --help, strict-parsed, and a tiny
+# faulty checked run must complete cleanly (recovery, not a hang).
+if "$sim" --help 2>&1 | grep -q -- '--fault-drop-irq'; then
+    note "ok: --help lists the fault flags"
+else
+    note "FAIL: --help does not list --fault-drop-irq"
+    failures=$((failures + 1))
+fi
+expect_exit0 "tiny faulty checked run" \
+    "$sim" --gpu ubench --duration 0.5 --check \
+    --fault-ppr-capacity 4 --fault-drop-irq 0.1 --fault-lose-signal 0.1
+expect_clean_error "unknown fault flag" "$sim" --gpu ubench --fault-bogus
+expect_clean_error "out-of-range --fault-drop-irq" \
+    "$sim" --gpu ubench --fault-drop-irq 2
+expect_clean_error "non-numeric --fault-dup-irq" \
+    "$sim" --gpu ubench --fault-dup-irq maybe
+expect_clean_error "zero --fault-ppr-capacity" \
+    "$sim" --gpu ubench --fault-ppr-capacity 0
+expect_clean_error "negative --fault-timeout" \
+    "$sim" --gpu ubench --fault-timeout -5
+expect_clean_error "missing --fault-retries value" \
+    "$sim" --gpu ubench --fault-retries
+
 if [ "$failures" -ne 0 ]; then
     note "$failures CLI contract check(s) failed"
     exit 1
