@@ -67,6 +67,9 @@ class PageTable
     template <typename Fn>
     void forEach(Fn &&fn) const
     {
+        // HISS_LINT_ALLOW(unordered-iter): the only caller is the
+        // memory audit (src/check), which checks per-entry properties
+        // and fills a keyed map — nothing order-sensitive downstream
         for (const auto &entry : map_)
             fn(entry.first, entry.second);
     }

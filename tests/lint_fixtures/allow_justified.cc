@@ -1,0 +1,31 @@
+// LINT_FIXTURE_AS: src/sim/allow_justified.cc
+// A justified HISS_LINT_ALLOW fully suppresses the finding — both
+// the own-line form (shields the next line) and the end-of-line form.
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct Auditor
+{
+    std::unordered_map<int, int> entries_;
+
+    int
+    countNonZero() const
+    {
+        int n = 0;
+        // HISS_LINT_ALLOW(unordered-iter): order-insensitive audit —
+        // only counts entries, nothing downstream sees the order
+        for (const auto &entry : entries_)
+            n += entry.second != 0 ? 1 : 0;
+        return n;
+    }
+
+    bool
+    anyEntry() const
+    {
+        return entries_.begin() != entries_.end(); // HISS_LINT_ALLOW(unordered-iter): emptiness probe, order-free
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// LINT_FIXTURE_AS: src/sim/allow_unjustified.cc
+// HISS_LINT_ALLOW without a justification is itself an error, and
+// the finding it tried to shield is NOT suppressed.
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct Auditor
+{
+    std::unordered_map<int, int> entries_;
+
+    int
+    countAll() const
+    {
+        int n = 0;
+        // HISS_LINT_ALLOW(unordered-iter)
+        for (const auto &entry : entries_)
+            n += entry.second;
+        return n;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// LINT_FIXTURE_AS: src/os/banned_nondet_clean.cc
+// Negative fixture: members and declarations that merely *spell*
+// time/clock/random are legal; so are member calls on them.
+
+namespace fixture {
+
+struct Clock
+{
+    int ticks_ = 0;
+    int clock() const { return ticks_; }
+};
+
+struct Timer
+{
+    int time(int t);
+    int random;
+};
+
+int
+Timer::time(int t)
+{
+    return t + random;
+}
+
+int
+useMembers(const Clock &c, Timer &t)
+{
+    return c.clock() + t.time(3);
+}
+
+// A declaration of a function named `time` is not a libc call.
+long time(long base, long offset);
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// LINT_FIXTURE_AS: src/os/banned_nondet_violation.cc
+// Positive fixture: wall-clock, libc randomness, and environment
+// reads inside a simulation layer.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned long
+badSeed()
+{
+    return static_cast<unsigned long>(time(nullptr));
+}
+
+int badDraw() { return std::rand(); }
+
+unsigned long badTicks() { return clock(); }
+
+const char *badEnv() { return getenv("HISS_SEED"); }
+
+std::random_device entropy;
+
+long
+badWallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,36 @@
+// LINT_FIXTURE_AS: src/mem/float_stat_accum_clean.cc
+// Negative fixture: integer accumulation and the sanctioned Stats
+// helpers; non-accumulating double math stays legal.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace fixture {
+
+std::uint64_t
+goodCount(const std::vector<std::uint64_t> &samples)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t v : samples)
+        total += v;
+    return total;
+}
+
+void
+goodStats(hiss::Distribution &dist,
+          const std::vector<double> &samples)
+{
+    for (double v : samples)
+        dist.sample(v);
+}
+
+double
+goodScale(double base)
+{
+    const double scaled = base * 2.0;
+    return scaled;
+}
+
+} // namespace fixture

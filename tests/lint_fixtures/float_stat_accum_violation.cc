@@ -1,0 +1,26 @@
+// LINT_FIXTURE_AS: src/mem/float_stat_accum_violation.cc
+// Positive fixture: hand-rolled floating-point accumulators in a
+// simulation layer — summation order becomes observable.
+
+#include <vector>
+
+namespace fixture {
+
+double
+badMean(const std::vector<double> &samples)
+{
+    double total = 0.0;
+    for (double v : samples)
+        total += v;
+    return samples.empty()
+        ? 0.0
+        : total / static_cast<double>(samples.size());
+}
+
+struct Tracker
+{
+    float drift_ = 0.0F;
+    void shrink(float by) { drift_ -= by; }
+};
+
+} // namespace fixture

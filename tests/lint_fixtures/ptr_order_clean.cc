@@ -1,0 +1,24 @@
+// LINT_FIXTURE_AS: src/os/ptr_order_clean.cc
+// Negative fixture: stable-id keys in ordered containers, and
+// pointer keys only in unordered containers used for lookup.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Widget
+{
+    std::uint64_t id = 0;
+};
+
+std::map<std::uint64_t, int> by_id;
+std::set<std::string> names;
+std::multiset<std::uint64_t> timestamps;
+std::unordered_map<const Widget *, int> lookup_only;
+std::less<std::uint64_t> id_order;
+
+} // namespace fixture

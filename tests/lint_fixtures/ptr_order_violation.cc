@@ -1,0 +1,20 @@
+// LINT_FIXTURE_AS: src/os/ptr_order_violation.cc
+// Positive fixture: pointer-keyed ordered containers and
+// std::less<T*> — ordering by allocation address.
+
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Widget
+{
+    int id = 0;
+};
+
+std::map<const Widget *, int> by_widget;
+std::set<Widget *> live_widgets;
+std::multimap<Widget *, int> events_by_widget;
+std::less<const Widget *> address_order;
+
+} // namespace fixture

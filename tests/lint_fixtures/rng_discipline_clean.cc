@@ -1,0 +1,31 @@
+// LINT_FIXTURE_AS: src/gpu/rng_discipline_clean.cc
+// Negative fixture: named streams, pass-by-reference, reference
+// bindings, and uninitialized members (filled in a ctor init list).
+
+#include "sim/random.h"
+
+namespace fixture {
+
+struct Device
+{
+    unsigned long seed = 7;
+    hiss::Rng rng_;
+};
+
+unsigned long
+goodNamedStream(const Device &dev)
+{
+    hiss::Rng rng(dev.seed, "gpu.fixture");
+    return rng.next();
+}
+
+unsigned long goodByRef(hiss::Rng &rng) { return rng.next(); }
+
+unsigned long
+goodReferenceBinding(Device &dev)
+{
+    hiss::Rng &stream = dev.rng_;
+    return stream.next();
+}
+
+} // namespace fixture

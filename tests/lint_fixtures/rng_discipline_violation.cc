@@ -1,0 +1,30 @@
+// LINT_FIXTURE_AS: src/gpu/rng_discipline_violation.cc
+// Positive fixture: an unnamed Rng stream, an Rng parameter taken by
+// value, and an Rng copy-initialized from another stream.
+
+#include "sim/random.h"
+
+namespace fixture {
+
+struct Device
+{
+    unsigned long seed = 7;
+};
+
+unsigned long
+badUnnamedStream(const Device &dev)
+{
+    hiss::Rng rng(dev.seed);
+    return rng.next();
+}
+
+unsigned long badByValue(hiss::Rng rng) { return rng.next(); }
+
+unsigned long
+badCopy(hiss::Rng &stream)
+{
+    hiss::Rng forked = stream;
+    return forked.next();
+}
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+// LINT_FIXTURE_AS: src/os/stat_name_clean.cc
+// Negative fixture: lowercase dotted stat names (literal or
+// prefix + literal fragment) and a free-form trace *label* — only
+// the category is part of the diffable set.
+
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/tracing.h"
+
+namespace fixture {
+
+void
+goodRegistrations(hiss::StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter("core0.l1d.misses", "L1D misses (description is "
+                                       "free-form)");
+    reg.addScalar(prefix + ".interrupts", "SSR interrupts handled");
+    reg.addDistribution(prefix + "svc.latency_ticks", "per-request");
+}
+
+void
+goodTrace(hiss::TraceWriter &writer, const std::string &name)
+{
+    writer.complete(0, name + " (preempted)", "burst", 0, 10);
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// LINT_FIXTURE_AS: src/os/stat_name_violation.cc
+// Positive fixture: stat names and trace categories outside
+// [a-z0-9_.] — the armed/unarmed name sets stop diffing cleanly.
+
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/tracing.h"
+
+namespace fixture {
+
+void
+badRegistrations(hiss::StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter("Bad Name", "space and uppercase in a stat name");
+    reg.addScalar(prefix + "Ticks.User", "uppercase fragment");
+    reg.addDistribution("svc/latency", "slash is outside the charset");
+}
+
+void
+badTraceCategory(hiss::TraceWriter &writer)
+{
+    writer.complete(0, "burst label", "IRQ Burst", 0, 10);
+}
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+// LINT_FIXTURE_AS: src/sim/unordered_iter_clean.cc
+// Negative fixture: unordered containers used for lookup only, plus
+// iteration over ordered/sequence containers, which is always fine.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Holder
+{
+    std::unordered_map<int, int> by_id_;
+    std::map<int, int> ordered_;
+    std::vector<int> keys_;
+
+    bool has(int id) const { return by_id_.find(id) != by_id_.end(); }
+    bool counted(int id) const { return by_id_.count(id) > 0; }
+    void put(int id, int v) { by_id_.emplace(id, v); }
+
+    int
+    sumOrdered() const
+    {
+        int total = 0;
+        for (const auto &entry : ordered_)
+            total += entry.second;
+        for (int k : keys_)
+            total += k;
+        return total;
+    }
+};
+
+} // namespace fixture

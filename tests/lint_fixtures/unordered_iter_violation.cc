@@ -1,0 +1,27 @@
+// LINT_FIXTURE_AS: src/sim/unordered_iter_violation.cc
+// Positive fixture: iterating unordered containers in a sim layer.
+// This file is lint input, not build input — it never compiles.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Holder
+{
+    std::unordered_map<int, int> by_id_;
+    std::unordered_set<int> seen_;
+
+    int
+    sumAll() const
+    {
+        int total = 0;
+        for (const auto &entry : by_id_)
+            total += entry.second;
+        return total;
+    }
+
+    int firstSeen() const { return *seen_.begin(); }
+};
+
+} // namespace fixture

@@ -4,7 +4,17 @@
 # The fault-injection corpus (ctest -L fault) additionally runs under
 # the asan preset, where a recovery-path use-after-free would be loud.
 #
-# Usage: tools/ci.sh [preset...]      (default: default check asan tsan)
+# Usage: tools/ci.sh [preset...]      (default: default check asan tsan;
+#                                      every preset sweep starts with the
+#                                      hiss_lint static pass)
+#        tools/ci.sh lint             (static pass only: build hiss_lint,
+#                                      run the rule self-test, then lint
+#                                      the tree — zero unsuppressed
+#                                      findings or the build fails)
+#        tools/ci.sh tidy             (optional clang-tidy pass over
+#                                      compile_commands.json; no-ops
+#                                      gracefully when clang-tidy is
+#                                      not installed)
 #        tools/ci.sh bench            (regression gate: fresh microbench
 #                                      runs vs committed BENCH_*.json;
 #                                      fails on >20% items_per_second
@@ -14,6 +24,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+# `lint` mode: the static determinism/discipline gate (docs/TESTING.md
+# "Static checks"). Builds only the analyzer and its self-test, so it
+# is the cheapest CI entry point and runs before the preset sweeps.
+run_lint() {
+    cmake --preset default
+    cmake --build --preset default -j "$jobs" \
+        --target hiss_lint hiss_lint_selftest
+    build-default/tools/lint/hiss_lint_selftest \
+        --gtest_brief=1
+    build-default/tools/lint/hiss_lint --root .
+    echo "ci: lint gate passed"
+}
+if [ "${1-}" = "lint" ]; then
+    run_lint
+    exit 0
+fi
+
+# `tidy` mode: optional clang-tidy sweep. Not a gate — the container
+# may not ship clang-tidy; skip loudly rather than fail.
+if [ "${1-}" = "tidy" ]; then
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "ci: tidy skipped (clang-tidy not installed)"
+        exit 0
+    fi
+    cmake --preset default
+    files=$(git ls-files 'src/*.cc' 'tools/*.cc' | grep -v '^tools/lint/')
+    # shellcheck disable=SC2086
+    clang-tidy -p build-default --quiet $files
+    echo "ci: tidy pass finished"
+    exit 0
+fi
 
 # `bench` mode: build the RelWithDebInfo preset, run the substrate and
 # event-queue microbenchmarks fresh, and gate on the committed
@@ -101,6 +143,10 @@ presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
     presets=(default check asan tsan)
 fi
+
+# Static pass first: cheapest gate, and a determinism-contract
+# violation should fail CI before an hour of sanitizer builds.
+run_lint
 
 for p in "${presets[@]}"; do
     echo "=== preset: $p ==="

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * hiss_lint driver.
+ *
+ * Walks the tree (default: src tools bench tests under --root),
+ * lints every .h/.cc/.cpp file against the standard rule registry,
+ * and prints file:line:rule findings with a one-line fix hint.
+ *
+ * Exit status: 0 clean, 1 error findings, 2 usage/IO failure.
+ *
+ *   hiss_lint [--root DIR] [--list-rules] [path...]
+ *
+ * Paths are files or directories, relative to --root. The lint
+ * fixture corpus (tests/lint_fixtures) is skipped during directory
+ * walks — its files violate on purpose — but can still be linted by
+ * naming a file explicitly.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using hiss::lint::Finding;
+using hiss::lint::Registry;
+using hiss::lint::Severity;
+
+namespace {
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp"
+        || ext == ".hpp";
+}
+
+bool
+skippedDir(const std::string &name)
+{
+    // Build trees and the intentionally-violating fixture corpus.
+    return name == "lint_fixtures" || name.rfind("build", 0) == 0
+        || name == ".git";
+}
+
+std::vector<std::string>
+collectFiles(const fs::path &root, const std::vector<std::string> &paths,
+             bool &io_error)
+{
+    std::vector<std::string> files;
+    for (const std::string &rel : paths) {
+        const fs::path base = root / rel;
+        std::error_code ec;
+        if (fs::is_regular_file(base, ec)) {
+            files.push_back(rel);
+            continue;
+        }
+        if (!fs::is_directory(base, ec)) {
+            std::cerr << "hiss_lint: no such file or directory: "
+                      << base.string() << "\n";
+            io_error = true;
+            continue;
+        }
+        fs::recursive_directory_iterator it(
+            base, fs::directory_options::skip_permission_denied, ec);
+        for (const auto end = fs::recursive_directory_iterator();
+             it != end; it.increment(ec)) {
+            if (ec)
+                break;
+            if (it->is_directory()
+                && skippedDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file()
+                && lintableExtension(it->path()))
+                files.push_back(
+                    fs::relative(it->path(), root).generic_string());
+        }
+    }
+    // Deterministic report order regardless of directory enumeration.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    std::vector<std::string> paths;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: hiss_lint [--root DIR] [--list-rules]"
+                         " [path...]\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "hiss_lint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    const Registry registry = Registry::standard();
+    if (list_rules) {
+        for (const auto &rule : registry.rules())
+            std::cout << rule->name() << "\n    "
+                      << rule->description() << "\n    hint: "
+                      << rule->hint() << "\n";
+        std::cout << hiss::lint::kAllowRuleName
+                  << "\n    HISS_LINT_ALLOW(rule) must carry a "
+                     "justification: \"// HISS_LINT_ALLOW(rule): "
+                     "why\"\n";
+        return 0;
+    }
+
+    if (paths.empty())
+        paths = {"src", "tools", "bench", "tests"};
+
+    bool io_error = false;
+    const std::vector<std::string> files =
+        collectFiles(root, paths, io_error);
+    if (files.empty()) {
+        std::cerr << "hiss_lint: nothing to lint under "
+                  << root.string() << "\n";
+        return 2;
+    }
+
+    std::size_t errors = 0, warnings = 0;
+    for (const std::string &rel : files) {
+        std::ifstream in(root / rel, std::ios::binary);
+        if (!in) {
+            std::cerr << "hiss_lint: cannot read " << rel << "\n";
+            io_error = true;
+            continue;
+        }
+        std::ostringstream contents;
+        contents << in.rdbuf();
+        for (const Finding &finding :
+             registry.lintSource(rel, contents.str())) {
+            std::cout << hiss::lint::format(finding) << "\n";
+            if (finding.severity == Severity::Error)
+                ++errors;
+            else
+                ++warnings;
+        }
+    }
+
+    if (errors == 0 && warnings == 0)
+        std::cout << "hiss_lint: clean (" << files.size() << " files, "
+                  << registry.rules().size() << " rules)\n";
+    else
+        std::cout << "hiss_lint: " << errors << " error(s), "
+                  << warnings << " warning(s) across " << files.size()
+                  << " files\n";
+    if (io_error)
+        return 2;
+    return errors > 0 ? 1 : 0;
+}

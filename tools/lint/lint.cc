@@ -1,0 +1,192 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hiss::lint {
+namespace {
+
+/** One parsed HISS_LINT_ALLOW marker. */
+struct Allow
+{
+    int line = 0;           // line the marker applies to
+    std::string rule;
+    bool justified = false;
+    bool used = false;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/**
+ * Parse HISS_LINT_ALLOW markers out of the file's comments. A comment
+ * that owns its line shields the next line that carries code (so a
+ * multi-line justification still reaches the statement below it); an
+ * end-of-line comment shields its own line. The justification is
+ * whatever follows the closing paren after a ':'.
+ */
+std::vector<Allow>
+parseAllows(const LexResult &lex, const std::string &path,
+            std::vector<Finding> &out)
+{
+    static const std::string kMarker = "HISS_LINT_ALLOW";
+    auto nextCodeLine = [&lex](int after) {
+        // ">=": an own-line /* */ allow may share its line with the
+        // code it shields; an own-line // comment never leaves tokens
+        // on its own line, so the first code line after it wins.
+        for (const Token &tok : lex.tokens)
+            if (tok.line >= after && tok.kind != TokKind::EndOfFile)
+                return tok.line;
+        return after + 1;
+    };
+    std::vector<Allow> allows;
+    for (const Comment &comment : lex.comments) {
+        // Only a comment that *starts* with the marker is a
+        // suppression; prose that merely mentions HISS_LINT_ALLOW
+        // (like this file's documentation) is not.
+        const std::string text = trim(comment.text);
+        if (text.rfind(kMarker, 0) != 0)
+            continue;
+        Allow allow;
+        allow.line = comment.owns_line ? nextCodeLine(comment.line)
+                                       : comment.line;
+        const std::size_t open = text.find('(');
+        const std::size_t close = open == std::string::npos
+            ? std::string::npos
+            : text.find(')', open);
+        if (open != kMarker.size() || close == std::string::npos) {
+            out.push_back({path, comment.line, kAllowRuleName,
+                           Severity::Error,
+                           "malformed HISS_LINT_ALLOW: expected "
+                           "HISS_LINT_ALLOW(rule): justification",
+                           ""});
+            continue;
+        }
+        allow.rule = trim(text.substr(open + 1, close - open - 1));
+        const std::string rest = trim(text.substr(close + 1));
+        allow.justified = rest.size() > 1 && rest[0] == ':'
+            && !trim(rest.substr(1)).empty();
+        if (!allow.justified) {
+            out.push_back(
+                {path, comment.line, kAllowRuleName, Severity::Error,
+                 "HISS_LINT_ALLOW(" + allow.rule
+                     + ") without a justification — write "
+                       "HISS_LINT_ALLOW(" + allow.rule
+                     + "): why this line is sound",
+                 ""});
+        }
+        allows.push_back(allow);
+    }
+    return allows;
+}
+
+} // namespace
+
+void
+Registry::add(std::unique_ptr<Rule> rule)
+{
+    rules_.push_back(std::move(rule));
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    for (const auto &rule : rules_)
+        if (rule->name() == name)
+            return true;
+    return false;
+}
+
+std::vector<Finding>
+Registry::lintSource(const std::string &path,
+                     const std::string &source) const
+{
+    FileContext file = classify(path, source);
+
+    std::vector<Finding> raw;
+    for (const auto &rule : rules_)
+        rule->check(file, raw);
+
+    std::vector<Finding> out;
+    std::vector<Allow> allows = parseAllows(file.lex, path, out);
+
+    for (const Allow &allow : allows) {
+        if (!allow.rule.empty() && !has(allow.rule)
+            && allow.rule != kAllowRuleName)
+            out.push_back({path, allow.line, kAllowRuleName,
+                           Severity::Error,
+                           "HISS_LINT_ALLOW names unknown rule '"
+                               + allow.rule + "'",
+                           "run hiss_lint --list-rules"});
+    }
+
+    for (Finding &finding : raw) {
+        bool suppressed = false;
+        for (Allow &allow : allows) {
+            // An unjustified allow does not suppress: the finding
+            // stays, alongside the allow-justification error.
+            if (allow.justified && allow.line == finding.line
+                && allow.rule == finding.rule) {
+                allow.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            out.push_back(std::move(finding));
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return out;
+}
+
+FileContext
+classify(const std::string &path, const std::string &source)
+{
+    FileContext file;
+    file.path = path;
+    file.lex = lex(source);
+
+    static const char *kSimLayers[] = {
+        "src/sim/", "src/os/",    "src/gpu/",   "src/iommu/",
+        "src/cpu/", "src/mem/",   "src/fault/", "src/check/",
+    };
+    for (const char *layer : kSimLayers)
+        if (path.rfind(layer, 0) == 0)
+            file.in_sim_layer = true;
+
+    static const char *kSanctioned[] = {
+        "src/sim/stats.h", "src/sim/stats.cc",
+        "src/sim/random.h", "src/sim/random.cc",
+    };
+    for (const char *impl : kSanctioned)
+        if (path == impl)
+            file.sanctioned_impl = true;
+
+    return file;
+}
+
+std::string
+format(const Finding &finding)
+{
+    std::string out = finding.path + ":"
+        + std::to_string(finding.line) + ": "
+        + (finding.severity == Severity::Error ? "error" : "warning")
+        + ": [" + finding.rule + "] " + finding.message;
+    if (!finding.hint.empty())
+        out += "\n    hint: " + finding.hint;
+    return out;
+}
+
+} // namespace hiss::lint

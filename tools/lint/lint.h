@@ -1,0 +1,133 @@
+/**
+ * @file
+ * hiss_lint core: rule registry, findings, and suppressions.
+ *
+ * hiss_lint statically enforces the determinism contract
+ * (docs/TESTING.md) that the runtime invariant layer checks
+ * dynamically: constructs that make a run depend on anything other
+ * than seed + config are flagged at lint time instead of surfacing as
+ * an expensive seed bisect later.
+ *
+ * A finding on a line can be suppressed with
+ *
+ *     // HISS_LINT_ALLOW(rule-name): why this one is sound
+ *
+ * either on the offending line or, when the comment has a line of its
+ * own, on the line directly above. The justification after the colon
+ * is mandatory; an allow without one is itself an error.
+ */
+
+#ifndef HISS_LINT_LINT_H_
+#define HISS_LINT_LINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace hiss::lint {
+
+enum class Severity { Warning, Error };
+
+struct Finding
+{
+    std::string path;  // as reported (the file's tree-relative path)
+    int line = 0;
+    std::string rule;
+    Severity severity = Severity::Error;
+    std::string message;
+    std::string hint;  // one-line fix suggestion
+};
+
+/**
+ * Everything a rule may look at for one file. `path` is the
+ * tree-relative path used both for reporting and for layer scoping,
+ * so the self-test can lint fixture text *as if* it lived in a
+ * simulation layer.
+ */
+struct FileContext
+{
+    std::string path;
+    LexResult lex;
+
+    /** True for the deterministic simulation layers (src/sim, src/os,
+     *  src/gpu, src/iommu, src/cpu, src/mem, src/fault, src/check). */
+    bool in_sim_layer = false;
+    /** True for src/sim/stats.{h,cc} and src/sim/random.{h,cc} — the
+     *  sanctioned implementations the discipline rules point at. */
+    bool sanctioned_impl = false;
+
+    const std::vector<Token> &tokens() const { return lex.tokens; }
+};
+
+/** A single lint rule. Rules append findings; they never suppress. */
+class Rule
+{
+  public:
+    Rule(std::string name, Severity severity, std::string description,
+         std::string hint)
+        : name_(std::move(name)), severity_(severity),
+          description_(std::move(description)), hint_(std::move(hint)) {}
+    virtual ~Rule() = default;
+
+    const std::string &name() const { return name_; }
+    Severity severity() const { return severity_; }
+    const std::string &description() const { return description_; }
+    const std::string &hint() const { return hint_; }
+
+    virtual void check(const FileContext &file,
+                       std::vector<Finding> &out) const = 0;
+
+  protected:
+    Finding
+    finding(const FileContext &file, int line, std::string message) const
+    {
+        return {file.path, line, name_, severity_, std::move(message),
+                hint_};
+    }
+
+  private:
+    std::string name_;
+    Severity severity_;
+    std::string description_;
+    std::string hint_;
+};
+
+/** Name of the meta-rule that polices HISS_LINT_ALLOW itself. */
+inline constexpr const char *kAllowRuleName = "allow-justification";
+
+class Registry
+{
+  public:
+    /** Registry with every shipped rule installed. */
+    static Registry standard();
+
+    void add(std::unique_ptr<Rule> rule);
+    const std::vector<std::unique_ptr<Rule>> &rules() const
+    {
+        return rules_;
+    }
+    bool has(const std::string &name) const;
+
+    /**
+     * Lint one file's contents under its tree-relative @p path:
+     * run every rule, then apply HISS_LINT_ALLOW suppressions and
+     * append allow-misuse findings. Results are sorted by line.
+     */
+    std::vector<Finding> lintSource(const std::string &path,
+                                    const std::string &source) const;
+
+  private:
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/** Classify @p path into a FileContext (layer flags). */
+FileContext classify(const std::string &path, const std::string &source);
+
+/** Render one finding as "path:line: severity: [rule] message". */
+std::string format(const Finding &finding);
+
+} // namespace hiss::lint
+
+#endif // HISS_LINT_LINT_H_

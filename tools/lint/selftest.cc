@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Fixture-driven self-test for hiss_lint.
+ *
+ * For every shipped rule: the positive fixture under
+ * tests/lint_fixtures must fire it, and the negative fixture must
+ * produce no findings at all. Fixtures carry a
+ * "LINT_FIXTURE_AS: <path>" pragma naming the tree path they are
+ * linted under, so layer-scoped rules see them as simulation code.
+ * Inline sources cover the suppression contract and lexer edges.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using hiss::lint::Finding;
+using hiss::lint::Registry;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(HISS_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read fixture " << path;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return contents.str();
+}
+
+std::string
+effectivePath(const std::string &source, const std::string &fallback)
+{
+    static const std::string kPragma = "LINT_FIXTURE_AS:";
+    const std::size_t pos = source.find(kPragma);
+    if (pos == std::string::npos)
+        return fallback;
+    std::size_t begin = pos + kPragma.size();
+    while (begin < source.size() && source[begin] == ' ')
+        ++begin;
+    std::size_t end = begin;
+    while (end < source.size() && source[end] != '\n'
+           && source[end] != ' ')
+        ++end;
+    return source.substr(begin, end - begin);
+}
+
+std::vector<Finding>
+lintFixture(const std::string &name)
+{
+    const Registry registry = Registry::standard();
+    const std::string source = readFixture(name);
+    return registry.lintSource(effectivePath(source, name), source);
+}
+
+std::size_t
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return static_cast<std::size_t>(std::count_if(
+        findings.begin(), findings.end(),
+        [&rule](const Finding &f) { return f.rule == rule; }));
+}
+
+std::string
+render(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings)
+        out += hiss::lint::format(f) + "\n";
+    return out;
+}
+
+struct RuleFixture
+{
+    const char *rule;
+    const char *violation;
+    const char *clean;
+    std::size_t min_findings;
+};
+
+class RuleFixtureTest : public ::testing::TestWithParam<RuleFixture>
+{
+};
+
+TEST_P(RuleFixtureTest, PositiveFixtureFires)
+{
+    const RuleFixture &param = GetParam();
+    const auto findings = lintFixture(param.violation);
+    EXPECT_GE(countRule(findings, param.rule), param.min_findings)
+        << "expected [" << param.rule << "] findings in "
+        << param.violation << "; got:\n" << render(findings);
+}
+
+TEST_P(RuleFixtureTest, NegativeFixtureIsSilent)
+{
+    const RuleFixture &param = GetParam();
+    const auto findings = lintFixture(param.clean);
+    EXPECT_TRUE(findings.empty())
+        << param.clean << " should lint clean; got:\n"
+        << render(findings);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, RuleFixtureTest,
+    ::testing::Values(
+        RuleFixture{"unordered-iter", "unordered_iter_violation.cc",
+                    "unordered_iter_clean.cc", 2},
+        RuleFixture{"banned-nondet", "banned_nondet_violation.cc",
+                    "banned_nondet_clean.cc", 5},
+        RuleFixture{"rng-discipline", "rng_discipline_violation.cc",
+                    "rng_discipline_clean.cc", 3},
+        RuleFixture{"ptr-order", "ptr_order_violation.cc",
+                    "ptr_order_clean.cc", 4},
+        RuleFixture{"float-stat-accum",
+                    "float_stat_accum_violation.cc",
+                    "float_stat_accum_clean.cc", 2},
+        RuleFixture{"stat-name", "stat_name_violation.cc",
+                    "stat_name_clean.cc", 4}),
+    [](const ::testing::TestParamInfo<RuleFixture> &param_info) {
+        std::string name = param_info.param.rule;
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(LintRegistry, EveryRuleHasDescriptionAndHint)
+{
+    const Registry registry = Registry::standard();
+    EXPECT_GE(registry.rules().size(), 6U);
+    for (const auto &rule : registry.rules()) {
+        EXPECT_FALSE(rule->name().empty());
+        EXPECT_FALSE(rule->description().empty()) << rule->name();
+        EXPECT_FALSE(rule->hint().empty()) << rule->name();
+    }
+}
+
+TEST(LintSuppression, JustifiedAllowSuppresses)
+{
+    const auto findings = lintFixture("allow_justified.cc");
+    EXPECT_TRUE(findings.empty())
+        << "justified allows should fully suppress; got:\n"
+        << render(findings);
+}
+
+TEST(LintSuppression, UnjustifiedAllowIsAnErrorAndDoesNotSuppress)
+{
+    const auto findings = lintFixture("allow_unjustified.cc");
+    EXPECT_GE(countRule(findings, hiss::lint::kAllowRuleName), 1U)
+        << render(findings);
+    EXPECT_GE(countRule(findings, "unordered-iter"), 1U)
+        << "an unjustified allow must not suppress the finding:\n"
+        << render(findings);
+}
+
+TEST(LintSuppression, UnknownRuleNameIsAnError)
+{
+    const Registry registry = Registry::standard();
+    const std::string source =
+        "// HISS_LINT_ALLOW(no-such-rule): misspelled\n"
+        "int x = 0;\n";
+    const auto findings =
+        registry.lintSource("src/sim/unknown_rule.cc", source);
+    EXPECT_EQ(countRule(findings, hiss::lint::kAllowRuleName), 1U)
+        << render(findings);
+}
+
+TEST(LintLexer, CommentsAndStringsDoNotFire)
+{
+    const Registry registry = Registry::standard();
+    const std::string source =
+        "// std::rand() and time(nullptr) in a comment\n"
+        "/* std::random_device entropy; */\n"
+        "const char *kDoc = \"call time(nullptr) then std::rand()\";\n"
+        "#define NOT_CODE time(nullptr)\n"
+        "int x = 0;\n";
+    const auto findings =
+        registry.lintSource("src/sim/lexer_probe.cc", source);
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+TEST(LintScoping, SimLayerRulesAreSilentOutsideSimLayers)
+{
+    const Registry registry = Registry::standard();
+    // Wall-clock throughput reporting is fine in the CLI tools.
+    const std::string source =
+        "long wallNow() { return time(nullptr); }\n";
+    EXPECT_TRUE(
+        registry.lintSource("tools/hiss_probe.cc", source).empty());
+    EXPECT_EQ(
+        registry.lintSource("src/os/hiss_probe.cc", source).size(),
+        1U);
+}
+
+TEST(LintSuppression, SameLineAllowSuppresses)
+{
+    const Registry registry = Registry::standard();
+    const std::string source =
+        "long wall() { return time(nullptr); } "
+        "// HISS_LINT_ALLOW(banned-nondet): host-side probe\n";
+    EXPECT_TRUE(
+        registry.lintSource("src/os/probe.cc", source).empty());
+}
+
+} // namespace
