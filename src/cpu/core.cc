@@ -34,6 +34,11 @@ kernelBranchProfile()
 /** Base virtual address of the simulated kernel image/data region. */
 constexpr Addr kKernelBase = 0xffff'8000'0000'0000ULL;
 
+/** Flush the deferred kernel footprint once either pending counter
+ *  reaches this, bounding scratch-buffer growth during long
+ *  burst-free interrupt storms. */
+constexpr std::uint32_t kMaxPendingFootprint = 4096;
+
 } // namespace
 
 CpuCore::CpuCore(SimContext &ctx, int index, const CpuCoreParams &params,
@@ -234,9 +239,17 @@ CpuCore::beginRunBurst(const BurstRequest &request)
     // Batched substrate path: generate the whole sample into the
     // core's scratch buffers, then run the L1D/BP batch kernels over
     // it — draw order and results bit-identical to the scalar loops.
+    const bool samples_l1d =
+        request.astream != nullptr && request.mem_accesses > 0;
+    const bool samples_bp =
+        request.bstream != nullptr && request.branches > 0;
+    // Deferred kernel footprints must land before this burst's sample
+    // measures the pollution they caused.
+    if (samples_l1d || samples_bp)
+        flushKernelFootprint();
     double sample_miss_rate = 0.0;
     double sample_mispredict_rate = 0.0;
-    if (request.astream != nullptr && request.mem_accesses > 0) {
+    if (samples_l1d) {
         const std::uint32_t dacc = request.mem_accesses;
         if (addr_scratch_.size() < dacc)
             addr_scratch_.resize(dacc);
@@ -255,8 +268,12 @@ CpuCore::beginRunBurst(const BurstRequest &request)
         // Kernel bursts without a private stream pollute through the
         // core's shared kernel footprint streams.
         driveKernelFootprint(request.mem_accesses, request.branches);
+        // If this burst also samples a branch stream, that sample
+        // must see the footprint just driven.
+        if (samples_bp)
+            flushKernelFootprint();
     }
-    if (request.bstream != nullptr && request.branches > 0) {
+    if (samples_bp) {
         const std::uint32_t dlk = request.branches;
         if (branch_scratch_.size() < dlk)
             branch_scratch_.resize(dlk);
@@ -439,6 +456,9 @@ CpuCore::enterSleep()
     }
     state_ = CoreState::Asleep;
     sleep_entered_ = now();
+    // Deferred footprints land first so the access/miss counters (and
+    // the BP state, which CC6 does not wipe) match eager driving.
+    flushKernelFootprint();
     if (params_.cc6_flushes_l1)
         l1d_.flush();
 }
@@ -457,6 +477,8 @@ CpuCore::driveKernelFootprint(std::uint32_t accesses,
 {
     // Footprints are declared at real scale (lines/branches actually
     // touched); subsample to match the user streams' sampling rate.
+    // The scaled() draws must stay here — one RNG draw per call, in
+    // call order — even though the fills/consumes are deferred.
     const auto scaled = [this](std::uint32_t n) {
         const double want = static_cast<double>(n)
             * params_.footprint_scale;
@@ -465,8 +487,20 @@ CpuCore::driveKernelFootprint(std::uint32_t accesses,
             ++whole;
         return whole;
     };
-    const std::uint32_t acc = scaled(accesses);
-    const std::uint32_t br = scaled(branches);
+    pending_kfp_accesses_ += scaled(accesses);
+    pending_kfp_branches_ += scaled(branches);
+    if (pending_kfp_accesses_ >= kMaxPendingFootprint
+        || pending_kfp_branches_ >= kMaxPendingFootprint)
+        flushKernelFootprint();
+}
+
+void
+CpuCore::flushKernelFootprint()
+{
+    const std::uint32_t acc = pending_kfp_accesses_;
+    const std::uint32_t br = pending_kfp_branches_;
+    pending_kfp_accesses_ = 0;
+    pending_kfp_branches_ = 0;
     if (acc > 0) {
         if (addr_scratch_.size() < acc)
             addr_scratch_.resize(acc);
@@ -522,6 +556,7 @@ CpuCore::cc6Ticks() const
 void
 CpuCore::finalizeStats()
 {
+    flushKernelFootprint();
     if (state_ == CoreState::Asleep) {
         cc6_ticks_ += now() - sleep_entered_;
         sleep_entered_ = now();

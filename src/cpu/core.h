@@ -221,6 +221,14 @@ class CpuCore : public SimObject
     /**
      * Drive a kernel footprint through this core's L1D and branch
      * predictor (used by irq handlers and kernel bursts).
+     *
+     * Deferred: the scaled sample sizes are drawn immediately (so the
+     * core's RNG stream order is unchanged), but the fills/consumes
+     * accumulate and run as one batch at the next point the L1D/BP
+     * state is observed (burst sampling, CC6 entry, finalizeStats).
+     * Stream fills are split-invariant (fill(a); fill(b) == fill(a+b),
+     * pinned by SubstrateBatch.*), so the aggregate is bit-identical
+     * to eager per-handler driving.
      */
     void driveKernelFootprint(std::uint32_t accesses,
                               std::uint32_t branches);
@@ -264,6 +272,8 @@ class CpuCore : public SimObject
     void accountBurst(Tick ran, const BurstRequest &request,
                       std::uint64_t instructions);
     void accountModeSwitch(bool to_kernel);
+    /** Run the accumulated kernel footprint through the L1D/BP. */
+    void flushKernelFootprint();
 
     int index_;
     CpuCoreParams params_;
@@ -282,6 +292,11 @@ class CpuCore : public SimObject
      *  sized to the largest footprint seen, never shrunk). */
     std::vector<Addr> addr_scratch_;
     std::vector<BranchStream::Outcome> branch_scratch_;
+
+    /** Scaled kernel-footprint work accumulated but not yet driven
+     *  (see driveKernelFootprint). */
+    std::uint32_t pending_kfp_accesses_ = 0;
+    std::uint32_t pending_kfp_branches_ = 0;
 
     CoreState state_ = CoreState::Idle;
     Thread *current_ = nullptr;

@@ -105,8 +105,20 @@ Gpu::resetForLaunch()
     outstanding_ = 0;
     for (Wavefront &wf : wavefronts_)
         wf.busy = true;
+    // The launch-time fetch loop only draws assignments and does
+    // slot bookkeeping; deferring its translates into one
+    // translateBatch call preserves issue order and is observably
+    // identical to per-wavefront translate() calls (see
+    // Iommu::translateBatch).
+    batching_ = params_.batch_translate;
     for (Wavefront &wf : wavefronts_)
         wavefrontFetch(wf.id);
+    batching_ = false;
+    if (!batch_reqs_.empty()) {
+        iommu_.translateBatch(std::move(batch_reqs_), demand_paging_,
+                              static_cast<Pasid>(params_.device_id));
+        batch_reqs_.clear();
+    }
 }
 
 Gpu::Assignment
@@ -191,11 +203,15 @@ Gpu::issueTranslate(int w)
     // A retried assignment was already counted as issued.
     if (count_fault && wf.retries == 0)
         ++faults_issued_;
-    iommu_.translate(wf.work.vpn,
-                     [this, w, count_fault](TranslateResult result) {
-                         onTranslateResult(w, result, count_fault);
-                     },
-                     demand_paging_,
+    Iommu::TranslateCallback cb =
+        [this, w, count_fault](TranslateResult result) {
+            onTranslateResult(w, result, count_fault);
+        };
+    if (batching_) {
+        batch_reqs_.push_back({wf.work.vpn, std::move(cb)});
+        return;
+    }
+    iommu_.translate(wf.work.vpn, std::move(cb), demand_paging_,
                      static_cast<Pasid>(params_.device_id));
 }
 

@@ -33,6 +33,14 @@ struct GpuParams
     /** Hardware limit on outstanding translation/fault requests. */
     std::uint32_t max_outstanding = 16;
     /**
+     * Issue launch-time translations through Iommu::translateBatch
+     * (one IOTLB classification pass + fused completion events)
+     * instead of per-wavefront translate() calls. Observably
+     * identical by the translateBatch contract; OFF is kept as an
+     * equivalence baseline for tests.
+     */
+    bool batch_translate = true;
+    /**
      * Accelerator index. Multiple accelerators (the paper's
      * accelerator-rich-SoC projection) get disjoint virtual-address
      * namespaces and distinct stats prefixes.
@@ -174,6 +182,11 @@ class Gpu : public SimObject
     std::vector<Wavefront> wavefronts_;
     std::deque<int> slot_waiters_;
     std::uint32_t outstanding_ = 0;
+
+    /** True while resetForLaunch collects translates into
+     *  batch_reqs_ for one translateBatch hand-off. */
+    bool batching_ = false;
+    std::vector<Iommu::TranslateRequest> batch_reqs_;
 
     Vpn next_new_vpn_ = 0;
     std::uint64_t touched_pages_ = 0;

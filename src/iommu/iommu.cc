@@ -24,6 +24,16 @@ Iommu::Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params)
         fatal("Iommu: steer_core %d out of range", params.steer_core);
     if (params.coalescing && params.coalesce_window == 0)
         fatal("Iommu: coalescing enabled with zero window");
+    if (params.iotlb_entries == 0)
+        fatal("Iommu: iotlb_entries must be positive");
+    // Probe table: power of two >= 2x capacity, so the load factor
+    // stays <= 1/2 and linear-probe chains stay short.
+    std::uint32_t slots = 8;
+    while (slots < params.iotlb_entries * 2)
+        slots *= 2;
+    iotlb_slots_.assign(slots, 0);
+    iotlb_ring_.assign(params.iotlb_entries, 0);
+    iotlb_mask_ = slots - 1;
     stats().addFormula("iommu.pprs", "peripheral page requests issued",
                        [this] {
                            return static_cast<double>(pprs_issued_);
@@ -61,23 +71,107 @@ Iommu::Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params)
     }
 }
 
+std::uint32_t
+Iommu::iotlbSlot(Vpn vpn) const
+{
+    // splitmix64 finalizer: cheap, and VPNs are near-sequential per
+    // launch generation, which raw masking would cluster badly.
+    std::uint64_t x = vpn + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(x) & iotlb_mask_;
+}
+
 bool
 Iommu::iotlbContains(Vpn vpn) const
 {
-    return iotlb_.count(vpn) > 0;
+    const Vpn code = vpn + 1;
+    for (std::uint32_t i = iotlbSlot(vpn);; i = (i + 1) & iotlb_mask_) {
+        if (iotlb_slots_[i] == code)
+            return true;
+        if (iotlb_slots_[i] == 0)
+            return false;
+    }
+}
+
+void
+Iommu::eraseIotlb(Vpn vpn)
+{
+    const Vpn code = vpn + 1;
+    std::uint32_t hole = iotlbSlot(vpn);
+    while (iotlb_slots_[hole] != code) {
+        if (iotlb_slots_[hole] == 0)
+            return; // Not resident (defensive; ring says it is).
+        hole = (hole + 1) & iotlb_mask_;
+    }
+    // Backward-shift deletion: keep every survivor reachable from
+    // its ideal slot without tombstones. An entry at j may fill the
+    // hole iff the hole lies on its probe path, i.e. within
+    // [ideal(j), j] cyclically.
+    for (std::uint32_t j = (hole + 1) & iotlb_mask_;
+         iotlb_slots_[j] != 0; j = (j + 1) & iotlb_mask_) {
+        const std::uint32_t ideal = iotlbSlot(iotlb_slots_[j] - 1);
+        if (((hole - ideal) & iotlb_mask_) <= ((j - ideal) & iotlb_mask_)) {
+            iotlb_slots_[hole] = iotlb_slots_[j];
+            hole = j;
+        }
+    }
+    iotlb_slots_[hole] = 0;
 }
 
 void
 Iommu::insertIotlb(Vpn vpn)
 {
-    if (iotlbContains(vpn))
-        return;
-    if (iotlb_fifo_.size() >= params_.iotlb_entries) {
-        iotlb_.erase(iotlb_fifo_.front());
-        iotlb_fifo_.pop_front();
+    // One probe pass does both the presence check and the slot
+    // search (the old list + map shape re-hashed the key for each).
+    const Vpn code = vpn + 1;
+    std::uint32_t i = iotlbSlot(vpn);
+    while (iotlb_slots_[i] != 0) {
+        if (iotlb_slots_[i] == code)
+            return; // Already resident (duplicate in-flight faults).
+        i = (i + 1) & iotlb_mask_;
     }
-    iotlb_fifo_.push_back(vpn);
-    iotlb_.emplace(vpn, std::prev(iotlb_fifo_.end()));
+    // Install before evicting: the backward shift below may reuse
+    // slot i, but never breaks the chain of an already-stored entry.
+    iotlb_slots_[i] = code;
+    if (iotlb_size_ == params_.iotlb_entries) {
+        // Full: FIFO eviction — drop the oldest entry and reuse its
+        // ring slot for the newcomer.
+        eraseIotlb(iotlb_ring_[iotlb_head_]);
+        iotlb_ring_[iotlb_head_] = vpn;
+        iotlb_head_ = iotlb_head_ + 1 == params_.iotlb_entries
+            ? 0
+            : iotlb_head_ + 1;
+        return;
+    }
+    std::uint32_t tail = iotlb_head_ + iotlb_size_;
+    if (tail >= params_.iotlb_entries)
+        tail -= params_.iotlb_entries;
+    iotlb_ring_[tail] = vpn;
+    ++iotlb_size_;
+}
+
+void
+Iommu::finishWalk(Vpn vpn, TranslateCallback on_complete,
+                  bool allow_fault, Pasid pasid)
+{
+    PageTable &table = spaces_.table(pasid);
+    Pfn pfn;
+    if (table.translate(vpn, pfn)) {
+        insertIotlb(vpn);
+        on_complete(TranslateResult::Ok);
+        return;
+    }
+    if (!allow_fault) {
+        // Pinned-memory baseline: the page was (conceptually)
+        // mapped before launch; install it with no host work.
+        table.map(vpn, kernel_.frames().allocate());
+        insertIotlb(vpn);
+        on_complete(TranslateResult::Ok);
+        return;
+    }
+    queuePpr(pasid, vpn, std::move(on_complete));
 }
 
 void
@@ -99,23 +193,71 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
     scheduleAfter(params_.walk_latency,
                   [this, vpn, cb = std::move(on_complete), allow_fault,
                    pasid]() mutable {
-        PageTable &table = spaces_.table(pasid);
-        Pfn pfn;
-        if (table.translate(vpn, pfn)) {
-            insertIotlb(vpn);
-            cb(TranslateResult::Ok);
-            return;
-        }
-        if (!allow_fault) {
-            // Pinned-memory baseline: the page was (conceptually)
-            // mapped before launch; install it with no host work.
-            table.map(vpn, kernel_.frames().allocate());
-            insertIotlb(vpn);
-            cb(TranslateResult::Ok);
-            return;
-        }
-        queuePpr(pasid, vpn, std::move(cb));
+        finishWalk(vpn, std::move(cb), allow_fault, pasid);
     }, EventPriority::Device);
+}
+
+void
+Iommu::translateBatch(std::vector<TranslateRequest> requests,
+                      bool allow_fault, Pasid pasid)
+{
+    if (requests.empty())
+        return;
+    // Classify the whole chunk against the IOTLB up front. All the
+    // probes happen now, before any insert can land (inserts run at
+    // +walk_latency or later), so the outcomes — and the hit/miss
+    // stats — are byte-identical to issuing scalar translate() calls
+    // in order at this tick.
+    struct Op
+    {
+        bool hit = false;
+        TranslateRequest req;
+    };
+    auto ops = std::make_shared<std::vector<Op>>();
+    ops->reserve(requests.size());
+    bool any_hit = false;
+    bool any_walk = false;
+    for (TranslateRequest &req : requests) {
+        const bool hit = iotlbContains(req.vpn);
+        if (hit) {
+            ++iotlb_hits_;
+            any_hit = true;
+        } else {
+            ++iotlb_misses_;
+            any_walk = true;
+        }
+        ops->push_back({hit, std::move(req)});
+    }
+    // One fused event per latency class replays the per-request
+    // bodies in issue order — under the event queue's same-(tick,
+    // priority) FIFO guarantee this is observably identical to the
+    // per-request events scalar translate() would have scheduled.
+    // select: 0 = hits only, 1 = walks only, 2 = both in issue order
+    // (the equal-latency case, where scalar events would interleave).
+    auto runOps = [this, ops, allow_fault, pasid](int select) {
+        for (Op &op : *ops) {
+            if (select == 0 && !op.hit)
+                continue;
+            if (select == 1 && op.hit)
+                continue;
+            if (op.hit)
+                op.req.on_complete(TranslateResult::Ok);
+            else
+                finishWalk(op.req.vpn, std::move(op.req.on_complete),
+                           allow_fault, pasid);
+        }
+    };
+    if (params_.iotlb_hit_latency == params_.walk_latency) {
+        scheduleAfter(params_.walk_latency, [runOps] { runOps(2); },
+                      EventPriority::Device);
+        return;
+    }
+    if (any_hit)
+        scheduleAfter(params_.iotlb_hit_latency, [runOps] { runOps(0); },
+                      EventPriority::Device);
+    if (any_walk)
+        scheduleAfter(params_.walk_latency, [runOps] { runOps(1); },
+                      EventPriority::Device);
 }
 
 void

@@ -17,10 +17,10 @@
 #ifndef HISS_IOMMU_IOMMU_H_
 #define HISS_IOMMU_IOMMU_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/address_space_dir.h"
 #include "mem/page_table.h"
@@ -102,6 +102,27 @@ class Iommu : public SimObject, public RequestSource
     void translate(Vpn vpn, TranslateCallback on_complete,
                    bool allow_fault = true, Pasid pasid = 0);
 
+    /** One translation of a batch handed to translateBatch(). */
+    struct TranslateRequest
+    {
+        Vpn vpn = 0;
+        TranslateCallback on_complete;
+    };
+
+    /**
+     * Translate a chunk of VPNs in one pass — observably identical
+     * to calling translate() on each element in order at the same
+     * tick, but classifies the whole chunk against the IOTLB up
+     * front and fuses the per-request completion events into one
+     * event per latency class. Sound because translate() never
+     * mutates the IOTLB synchronously (inserts land at +walk_latency
+     * or later), so the probe outcome of request k cannot depend on
+     * requests 0..k-1 of the same tick. Used by the GPU wavefront
+     * fault-issue path at launch.
+     */
+    void translateBatch(std::vector<TranslateRequest> requests,
+                        bool allow_fault = true, Pasid pasid = 0);
+
     /// @name RequestSource (driver-facing) interface.
     /// @{
     std::vector<SsrRequest> drain() override;
@@ -129,8 +150,12 @@ class Iommu : public SimObject, public RequestSource
     std::size_t pprQueueDepth() const { return ppr_queue_.size(); }
 
   private:
+    std::uint32_t iotlbSlot(Vpn vpn) const;
     void insertIotlb(Vpn vpn);
+    void eraseIotlb(Vpn vpn);
     bool iotlbContains(Vpn vpn) const;
+    void finishWalk(Vpn vpn, TranslateCallback on_complete,
+                    bool allow_fault, Pasid pasid);
     void queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete);
     Tick effectiveWindow() const;
     void considerRaiseMsi();
@@ -142,9 +167,18 @@ class Iommu : public SimObject, public RequestSource
     IommuParams params_;
     SsrDriver *driver_ = nullptr;
 
-    // IOTLB: FIFO-replacement set of recently used translations.
-    std::list<Vpn> iotlb_fifo_;
-    std::unordered_map<Vpn, std::list<Vpn>::iterator> iotlb_;
+    // IOTLB: FIFO-replacement set of recently used translations,
+    // stored flat. iotlb_slots_ is a power-of-two open-addressed
+    // probe table (linear probing, backward-shift deletion, load
+    // factor <= 1/2) holding vpn + 1 codes with 0 marking an empty
+    // slot; iotlb_ring_ holds the resident VPNs in insertion order
+    // with iotlb_head_ as the next-victim cursor, so FIFO eviction
+    // is one array read instead of a list pop.
+    std::vector<Vpn> iotlb_slots_;
+    std::vector<Vpn> iotlb_ring_;
+    std::uint32_t iotlb_mask_ = 0;
+    std::uint32_t iotlb_head_ = 0;
+    std::uint32_t iotlb_size_ = 0;
 
     std::deque<SsrRequest> ppr_queue_;
     Tick last_ppr_at_ = 0;

@@ -1,5 +1,7 @@
 #include "mem/cache.h"
 
+#include "mem/cache_run.h"
+#include "mem/cache_simd.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -20,7 +22,105 @@ log2u(std::uint64_t v)
     return s;
 }
 
+/** The resolved dispatch: one kernel pair for the whole process. */
+struct Dispatch
+{
+    CacheKernel kernel = CacheKernel::Portable;
+    cache_detail::RunFn record = nullptr;
+    cache_detail::RunFn plain = nullptr;
+};
+
+Dispatch
+dispatchFor(CacheKernel kernel)
+{
+    switch (kernel) {
+      case CacheKernel::Portable:
+        break;
+#if defined(HISS_SIMD_X86)
+      case CacheKernel::Sse41:
+        return {kernel, &cache_detail::runSse41Record,
+                &cache_detail::runSse41Plain};
+      case CacheKernel::Avx2:
+        return {kernel, &cache_detail::runAvx2Record,
+                &cache_detail::runAvx2Plain};
+#else
+      case CacheKernel::Sse41:
+      case CacheKernel::Avx2:
+        break; // Unreachable: kernelSupported() rejects these.
+#endif
+    }
+    return {CacheKernel::Portable,
+            &cache_detail::run<cache_detail::PortableProbe, true>,
+            &cache_detail::run<cache_detail::PortableProbe, false>};
+}
+
+/** One-time CPUID select, overridable via Cache::setKernel. */
+Dispatch &
+dispatch()
+{
+    static Dispatch d = dispatchFor(Cache::bestKernel());
+    return d;
+}
+
 } // namespace
+
+bool
+Cache::kernelSupported(CacheKernel kernel)
+{
+    if (kernel == CacheKernel::Portable)
+        return true;
+#if defined(HISS_SIMD_X86)
+    __builtin_cpu_init();
+    switch (kernel) {
+      case CacheKernel::Sse41:
+        return __builtin_cpu_supports("sse4.1") != 0;
+      case CacheKernel::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+      case CacheKernel::Portable:
+        break;
+    }
+#endif
+    return false;
+}
+
+CacheKernel
+Cache::bestKernel()
+{
+    if (kernelSupported(CacheKernel::Avx2))
+        return CacheKernel::Avx2;
+    if (kernelSupported(CacheKernel::Sse41))
+        return CacheKernel::Sse41;
+    return CacheKernel::Portable;
+}
+
+CacheKernel
+Cache::activeKernel()
+{
+    return dispatch().kernel;
+}
+
+bool
+Cache::setKernel(CacheKernel kernel)
+{
+    if (!kernelSupported(kernel))
+        return false;
+    dispatch() = dispatchFor(kernel);
+    return true;
+}
+
+const char *
+Cache::kernelName(CacheKernel kernel)
+{
+    switch (kernel) {
+      case CacheKernel::Portable:
+        return "portable";
+      case CacheKernel::Sse41:
+        return "sse4.1";
+      case CacheKernel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
 
 Cache::Cache(const CacheParams &params) : params_(params)
 {
@@ -55,79 +155,24 @@ Cache::tagOf(Addr addr) const
 }
 
 /**
- * The one lookup/replace implementation, shared by the scalar and
- * batch entry points so they cannot diverge. Hot state (use clock,
- * miss count) lives in locals across the loop; a hit exits the way
- * scan before the remaining victim bookkeeping runs.
- *
- * Replacement matches the original scalar semantics exactly: the
- * victim is the *last* invalid way if any way is invalid, otherwise
- * the first way holding the minimum LRU stamp.
+ * The one lookup/replace entry, shared by the scalar and batch paths
+ * so they cannot diverge. The loop itself lives in cache_run.h; the
+ * probe inside it is whichever kernel the one-time CPUID dispatch
+ * selected (portable on every host; SSE4.1/AVX2 in HISS_SIMD builds
+ * on hosts that support them — all bit-identical by construction and
+ * pinned by SubstrateBatch.*).
  */
 template <bool Record>
 std::uint64_t
 Cache::accessRun(const Addr *addrs, std::size_t n, std::uint8_t *hits_out)
 {
-    const std::uint32_t assoc = params_.assoc;
-    const std::uint32_t set_mask = num_sets_ - 1;
-    const std::uint32_t shift = line_shift_;
-    Addr *const tags = tags_.data();
-    std::uint64_t *const lru = lru_.data();
-    std::uint64_t clock = use_clock_;
-    std::uint64_t miss_count = 0;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const Addr tag = addrs[i] >> shift;
-        const Addr code = tag + 1; // Stored form; 0 marks invalid.
-        const std::size_t base =
-            static_cast<std::size_t>(static_cast<std::uint32_t>(tag)
-                                     & set_mask)
-            * assoc;
-        Addr *const set_tags = tags + base;
-        std::uint64_t *const set_lru = lru + base;
-
-        // Hit fast path: pure tag-code compare — invalid ways hold
-        // code 0 and can never match, so no validity check needed.
-        // The 4-way case (default L1D geometry) evaluates all ways
-        // branchlessly; a loop with an early exit mispredicts on the
-        // data-dependent exit way.
-        std::uint32_t way;
-        if (assoc == 4) {
-            const bool h0 = set_tags[0] == code;
-            const bool h1 = set_tags[1] == code;
-            const bool h2 = set_tags[2] == code;
-            const bool h3 = set_tags[3] == code;
-            way = h0 ? 0u : h1 ? 1u : h2 ? 2u : h3 ? 3u : 4u;
-        } else {
-            for (way = 0; way < assoc; ++way)
-                if (set_tags[way] == code)
-                    break;
-        }
-        if (way < assoc) {
-            set_lru[way] = ++clock;
-            if constexpr (Record)
-                hits_out[i] = 1;
-            continue;
-        }
-
-        // Miss: victim is the last invalid way if any, otherwise the
-        // first way holding the minimum LRU stamp (true LRU).
-        std::uint32_t victim = 0;
-        for (way = 0; way < assoc; ++way) {
-            if (set_lru[way] == 0)
-                victim = way;
-            else if (set_lru[victim] != 0
-                     && set_lru[way] < set_lru[victim])
-                victim = way;
-        }
-        set_tags[victim] = code;
-        set_lru[victim] = ++clock;
-        ++miss_count;
-        if constexpr (Record)
-            hits_out[i] = 0;
-    }
-
-    use_clock_ = clock;
+    cache_detail::RunState state{tags_.data(), lru_.data(),
+                                 params_.assoc, num_sets_ - 1,
+                                 line_shift_, use_clock_};
+    const Dispatch &d = dispatch();
+    const std::uint64_t miss_count =
+        (Record ? d.record : d.plain)(state, addrs, n, hits_out);
+    use_clock_ = state.clock;
     accesses_ += n;
     misses_ += miss_count;
     return miss_count;

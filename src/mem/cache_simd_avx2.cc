@@ -1,0 +1,69 @@
+/**
+ * @file
+ * AVX2 cache-probe kernel (vpcmpeqq over the SoA tag-code array).
+ *
+ * Compiled with -mavx2 (see src/CMakeLists.txt); only reached via
+ * Cache's runtime CPUID dispatch on hosts that report avx2.
+ */
+
+#if defined(HISS_SIMD_X86)
+
+#include <immintrin.h>
+
+#include "mem/cache_simd.h"
+
+namespace hiss {
+namespace cache_detail {
+namespace {
+
+/**
+ * Probe a whole 4-way set with one vpcmpeqq, an 8-way set with two;
+ * any other geometry falls back to the portable probe. At most one
+ * way can match, so the lowest set bit is *the* hit way, matching
+ * the portable probe's first-match answer exactly.
+ */
+struct Avx2Probe
+{
+    static inline std::uint32_t
+    find(const Addr *set_tags, Addr code, std::uint32_t assoc)
+    {
+        if (assoc == 4 || assoc == 8) {
+            const __m256i needle =
+                _mm256_set1_epi64x(static_cast<long long>(code));
+            std::uint32_t mask = 0;
+            for (std::uint32_t quad = 0; quad < assoc; quad += 4) {
+                const __m256i ways = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(set_tags + quad));
+                const __m256i eq = _mm256_cmpeq_epi64(ways, needle);
+                mask |= static_cast<std::uint32_t>(
+                            _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+                    << quad;
+            }
+            return mask != 0
+                ? static_cast<std::uint32_t>(__builtin_ctz(mask))
+                : assoc;
+        }
+        return PortableProbe::find(set_tags, code, assoc);
+    }
+};
+
+} // namespace
+
+std::uint64_t
+runAvx2Record(RunState &state, const Addr *addrs, std::size_t n,
+              std::uint8_t *hits_out)
+{
+    return run<Avx2Probe, true>(state, addrs, n, hits_out);
+}
+
+std::uint64_t
+runAvx2Plain(RunState &state, const Addr *addrs, std::size_t n,
+             std::uint8_t *hits_out)
+{
+    return run<Avx2Probe, false>(state, addrs, n, hits_out);
+}
+
+} // namespace cache_detail
+} // namespace hiss
+
+#endif // HISS_SIMD_X86

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SSE4.1 cache-probe kernel (pcmpeqq over the SoA tag-code array).
+ *
+ * Compiled with -msse4.1 (see src/CMakeLists.txt); only reached via
+ * Cache's runtime CPUID dispatch on hosts that report sse4.1.
+ */
+
+#if defined(HISS_SIMD_X86)
+
+#include <smmintrin.h>
+
+#include "mem/cache_simd.h"
+
+namespace hiss {
+namespace cache_detail {
+namespace {
+
+/**
+ * Probe 4- and 8-way sets two ways per pcmpeqq; any other geometry
+ * falls back to the portable probe. At most one way can match, so
+ * the lowest set bit is *the* hit way, matching the portable probe's
+ * first-match answer exactly.
+ */
+struct Sse41Probe
+{
+    static inline std::uint32_t
+    find(const Addr *set_tags, Addr code, std::uint32_t assoc)
+    {
+        if (assoc == 4 || assoc == 8) {
+            const __m128i needle =
+                _mm_set1_epi64x(static_cast<long long>(code));
+            std::uint32_t mask = 0;
+            for (std::uint32_t pair = 0; pair < assoc; pair += 2) {
+                const __m128i ways = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(set_tags + pair));
+                const __m128i eq = _mm_cmpeq_epi64(ways, needle);
+                mask |= static_cast<std::uint32_t>(
+                            _mm_movemask_pd(_mm_castsi128_pd(eq)))
+                    << pair;
+            }
+            return mask != 0
+                ? static_cast<std::uint32_t>(__builtin_ctz(mask))
+                : assoc;
+        }
+        return PortableProbe::find(set_tags, code, assoc);
+    }
+};
+
+} // namespace
+
+std::uint64_t
+runSse41Record(RunState &state, const Addr *addrs, std::size_t n,
+               std::uint8_t *hits_out)
+{
+    return run<Sse41Probe, true>(state, addrs, n, hits_out);
+}
+
+std::uint64_t
+runSse41Plain(RunState &state, const Addr *addrs, std::size_t n,
+              std::uint8_t *hits_out)
+{
+    return run<Sse41Probe, false>(state, addrs, n, hits_out);
+}
+
+} // namespace cache_detail
+} // namespace hiss
+
+#endif // HISS_SIMD_X86

@@ -1,0 +1,46 @@
+// LINT_FIXTURE_AS: src/mem/simd_gate_clean.cc
+// Negative fixture: the same intrinsics are fine inside a HISS_SIMD
+// conditional (including nested regions), and the portable fallback
+// uses no vector types at all.
+
+#include <cstdint>
+
+#if defined(HISS_SIMD_X86)
+#include <immintrin.h>
+
+namespace fixture {
+
+std::uint32_t
+gatedProbe(const std::uint64_t *tags, std::uint64_t code)
+{
+    const __m256i needle = _mm256_set1_epi64x(
+        static_cast<long long>(code));
+    const __m256i lane = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(tags));
+    const __m256i eq = _mm256_cmpeq_epi64(needle, lane);
+#if defined(FIXTURE_FAST_PATH)
+    const __m256i folded = _mm256_and_si256(eq, needle);
+    (void)folded;
+#endif
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+}
+
+} // namespace fixture
+
+#else
+
+namespace fixture {
+
+std::uint32_t
+gatedProbe(const std::uint64_t *tags, std::uint64_t code)
+{
+    std::uint32_t mask = 0;
+    for (int way = 0; way < 4; ++way)
+        mask |= (tags[way] == code ? 1U : 0U) << way;
+    return mask;
+}
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,27 @@
+// LINT_FIXTURE_AS: src/mem/simd_gate_violation.cc
+// Positive fixture: intrinsics header and vector intrinsics reachable
+// in the portable build (no HISS_SIMD conditional around them).
+
+#include <cstdint>
+#include <immintrin.h>
+
+namespace fixture {
+
+std::uint32_t
+badProbe(const std::uint64_t *tags, std::uint64_t code)
+{
+    const __m256i needle = _mm256_set1_epi64x(
+        static_cast<long long>(code));
+    const __m256i lane = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(tags));
+    const __m256i eq = _mm256_cmpeq_epi64(needle, lane);
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+}
+
+// An unrelated #if does not count as a gate.
+#if defined(FIXTURE_FAST_PATH)
+std::uint32_t badGated(__m128i v);
+#endif
+
+} // namespace fixture

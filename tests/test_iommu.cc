@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 #include "iommu/iommu.h"
 #include "sim/logging.h"
+#include "sim/random.h"
 
 namespace hiss {
 namespace {
@@ -231,6 +235,179 @@ TEST_F(IommuTest, AdaptiveCoalescingShortensSparseStreamWait)
     const Tick fixed_window_floor = start + usToTicks(13);
     // ...so it resolves sooner than issue + full window + pipeline.
     EXPECT_LT(done_at, fixed_window_floor + usToTicks(8));
+}
+
+/** A second, self-contained IOMMU stack for side-by-side runs. */
+struct BatchHarness
+{
+    explicit BatchHarness(IommuParams params = {})
+        : ctx{events, stats, 41}
+    {
+        KernelParams kparams;
+        kparams.housekeeping_period = 0;
+        kernel = std::make_unique<Kernel>(ctx, 4, CpuCoreParams{},
+                                          kparams);
+        iommu = std::make_unique<Iommu>(ctx, *kernel, params);
+        SsrDriver &driver = kernel->attachSsrSource(
+            "iommu_drv", *iommu, SsrDriverParams{});
+        iommu->setDriver(&driver);
+    }
+
+    EventQueue events;
+    StatRegistry stats;
+    SimContext ctx;
+    std::unique_ptr<Kernel> kernel;
+    std::unique_ptr<Iommu> iommu;
+};
+
+/** Issue-order completion log: (request index, completion tick). */
+using CompletionLog = std::vector<std::pair<int, Tick>>;
+
+/**
+ * translateBatch must be observably identical to scalar translate()
+ * calls issued in the same order at the same tick: same callback
+ * order, same completion ticks, same counters — across a mix of
+ * IOTLB hits, walk hits, and full-chain faults, with and without the
+ * fused equal-latency event path.
+ */
+void
+expectBatchMatchesScalar(IommuParams params)
+{
+    const std::vector<Vpn> warm = {10, 11};
+    // 10/11: IOTLB hits. 12/13: mapped, walk hits. 200/201: faults.
+    // Trailing 10 re-hit and duplicate 201 cover intra-batch repeats.
+    const std::vector<Vpn> mix = {10, 12, 200, 11, 13, 201, 10, 201};
+
+    CompletionLog scalar_log;
+    CompletionLog batch_log;
+    for (const bool batched : {false, true}) {
+        BatchHarness h(params);
+        for (Vpn v = 10; v <= 13; ++v)
+            h.kernel->gpuPageTable().map(v, v + 100);
+        for (const Vpn v : warm) {
+            h.iommu->translate(v, [](TranslateResult) {});
+            h.events.runUntil(h.events.now() + usToTicks(5));
+        }
+        const Tick issue_at = h.events.now();
+        CompletionLog &log = batched ? batch_log : scalar_log;
+        if (batched) {
+            std::vector<Iommu::TranslateRequest> reqs;
+            for (std::size_t i = 0; i < mix.size(); ++i) {
+                const int idx = static_cast<int>(i);
+                reqs.push_back(
+                    {mix[i], [&log, idx, &h](TranslateResult) {
+                         log.emplace_back(idx, h.events.now());
+                     }});
+            }
+            h.iommu->translateBatch(std::move(reqs));
+        } else {
+            for (std::size_t i = 0; i < mix.size(); ++i) {
+                const int idx = static_cast<int>(i);
+                h.iommu->translate(
+                    mix[i], [&log, idx, &h](TranslateResult) {
+                        log.emplace_back(idx, h.events.now());
+                    });
+            }
+        }
+        h.events.runUntil(issue_at + msToTicks(4));
+        ASSERT_EQ(log.size(), mix.size())
+            << (batched ? "batched" : "scalar");
+        if (batched) {
+            // Warm-up walks are misses; the mix re-hits 10, 11, 10.
+            EXPECT_EQ(h.iommu->iotlbHits(), 3u);
+            EXPECT_EQ(h.iommu->pprsIssued(), 3u);
+            EXPECT_EQ(h.iommu->faultsResolved(), 3u);
+        }
+    }
+    EXPECT_EQ(batch_log, scalar_log);
+}
+
+TEST_F(IommuTest, TranslateBatchMatchesScalarSequence)
+{
+    expectBatchMatchesScalar(IommuParams{});
+}
+
+TEST_F(IommuTest, TranslateBatchMatchesScalarWithEqualLatencies)
+{
+    // hit == walk latency exercises the fused single-event replay,
+    // where scalar hit and walk completions interleave in issue order.
+    IommuParams params;
+    params.iotlb_hit_latency = params.walk_latency;
+    expectBatchMatchesScalar(params);
+}
+
+TEST_F(IommuTest, TranslateBatchEmptyAndSingleton)
+{
+    build();
+    iommu->translateBatch({}); // no-op, schedules nothing
+    events.runUntil(usToTicks(1));
+    EXPECT_EQ(iommu->iotlbHits() + iommu->iotlbMisses(), 0u);
+
+    kernel->gpuPageTable().map(42, 7);
+    int done = 0;
+    std::vector<Iommu::TranslateRequest> one;
+    one.push_back({42, [&](TranslateResult) { ++done; }});
+    iommu->translateBatch(std::move(one));
+    events.runUntil(events.now() + usToTicks(10));
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(iommu->iotlbMisses(), 1u);
+}
+
+/**
+ * The flat open-addressed IOTLB (probe table + ring cursor) must
+ * implement exactly the list+map FIFO it replaced: same hit/miss
+ * outcome for every access of a random workload that churns through
+ * eviction continuously.
+ */
+TEST_F(IommuTest, FlatIotlbMatchesReferenceFifoModel)
+{
+    IommuParams params;
+    params.iotlb_entries = 8;
+    build(params);
+    constexpr Vpn kPool = 32; // 4x capacity: constant eviction churn
+    for (Vpn v = 0; v < kPool; ++v)
+        kernel->gpuPageTable().map(v, v + 100);
+
+    // Reference model: the seed's std::list + hash-set FIFO.
+    std::list<Vpn> ref_fifo;
+    std::unordered_set<Vpn> ref_set;
+    const auto ref_access = [&](Vpn vpn) {
+        if (ref_set.count(vpn) > 0)
+            return true;
+        if (ref_fifo.size() >= params.iotlb_entries) {
+            ref_set.erase(ref_fifo.front());
+            ref_fifo.pop_front();
+        }
+        ref_fifo.push_back(vpn);
+        ref_set.insert(vpn);
+        return false;
+    };
+
+    Rng rng(0xF1F0);
+    std::uint64_t expect_hits = 0;
+    std::uint64_t expect_misses = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Vpn vpn = rng.uniformInt(0, kPool - 1);
+        if (ref_access(vpn))
+            ++expect_hits;
+        else
+            ++expect_misses;
+        iommu->translate(vpn, [](TranslateResult) {});
+        // Quiesce so the miss's insert lands before the next probe,
+        // matching the reference model's synchronous insert.
+        events.runUntil(events.now() + usToTicks(2));
+        ASSERT_EQ(iommu->iotlbHits(), expect_hits) << "access " << i;
+        ASSERT_EQ(iommu->iotlbMisses(), expect_misses) << "access " << i;
+    }
+    EXPECT_GT(expect_hits, 0u);
+    EXPECT_GT(expect_misses, params.iotlb_entries);
+}
+
+TEST_F(IommuTest, ZeroIotlbEntriesRejected)
+{
+    IommuParams params;
+    params.iotlb_entries = 0;
+    EXPECT_THROW(build(params), FatalError);
 }
 
 } // namespace

@@ -52,11 +52,23 @@ CacheParams
 randomCacheParams(Rng &rng)
 {
     static const CacheParams kChoices[] = {
-        {4 * 1024, 1, 64},  {8 * 1024, 2, 64}, {16 * 1024, 4, 64},
-        {16 * 1024, 8, 32}, {32 * 1024, 4, 128},
+        {4 * 1024, 1, 64},  {8 * 1024, 2, 64},  {16 * 1024, 4, 64},
+        {16 * 1024, 8, 32}, {32 * 1024, 4, 128}, {32 * 1024, 8, 64},
     };
-    return kChoices[rng.uniformInt(0, 4)];
+    return kChoices[rng.uniformInt(0, 5)];
 }
+
+/** Pin the process-wide probe kernel for one scope, then restore the
+ *  CPUID-selected best (tests must not leak a forced kernel). */
+class ScopedKernel
+{
+  public:
+    explicit ScopedKernel(CacheKernel kernel)
+    {
+        EXPECT_TRUE(Cache::setKernel(kernel));
+    }
+    ~ScopedKernel() { Cache::setKernel(Cache::bestKernel()); }
+};
 
 /**
  * fill(n) must produce exactly the values of n next() calls, for any
@@ -219,6 +231,86 @@ TEST(SubstrateBatch, MixedScalarAndBatchCallsCompose)
     EXPECT_EQ(mixed.stateHash(), scalar.stateHash());
     EXPECT_EQ(mixed.misses(), scalar.misses());
     EXPECT_EQ(mixed.accesses(), scalar.accesses());
+}
+
+/**
+ * Every SIMD probe kernel the host supports must be bit-identical to
+ * the portable kernel: same per-access hit bitmap, same miss count,
+ * same final structural state, across geometries (including the
+ * 8-way shapes the vector paths special-case).
+ */
+TEST(SubstrateBatch, SimdKernelMatchesPortable)
+{
+    static const CacheParams kGeoms[] = {
+        {4 * 1024, 1, 64},  {8 * 1024, 2, 64},  {16 * 1024, 4, 64},
+        {16 * 1024, 8, 32}, {32 * 1024, 4, 128}, {32 * 1024, 8, 64},
+        {8 * 1024, 16, 64}, // generic-loop fallback inside SIMD TUs
+    };
+    Rng meta(0x51D);
+    for (const CacheKernel kernel :
+         {CacheKernel::Sse41, CacheKernel::Avx2}) {
+        if (!Cache::kernelSupported(kernel)) {
+            GTEST_LOG_(INFO) << "host lacks "
+                             << Cache::kernelName(kernel)
+                             << "; skipping";
+            continue;
+        }
+        for (const CacheParams &geom : kGeoms) {
+            const MemoryProfile profile = randomMemoryProfile(meta);
+            const std::uint64_t seed = meta.next();
+            const std::size_t n = meta.uniformInt(64, 768);
+            AddressStream stream(profile, 0x10000000, seed);
+            std::vector<Addr> buf(n);
+            stream.fill(buf.data(), n);
+
+            Cache portable(geom);
+            std::vector<std::uint8_t> portable_hits(n);
+            std::uint64_t portable_misses = 0;
+            {
+                ScopedKernel pin(CacheKernel::Portable);
+                portable_misses = portable.accessBatch(
+                    buf.data(), n, portable_hits.data());
+            }
+
+            Cache vectored(geom);
+            std::vector<std::uint8_t> vector_hits(n);
+            std::uint64_t vector_misses = 0;
+            {
+                ScopedKernel pin(kernel);
+                vector_misses = vectored.accessBatch(
+                    buf.data(), n, vector_hits.data());
+            }
+
+            EXPECT_EQ(vector_hits, portable_hits)
+                << Cache::kernelName(kernel) << " assoc " << geom.assoc;
+            EXPECT_EQ(vector_misses, portable_misses)
+                << Cache::kernelName(kernel) << " assoc " << geom.assoc;
+            EXPECT_EQ(vectored.stateHash(), portable.stateHash())
+                << Cache::kernelName(kernel) << " assoc " << geom.assoc;
+        }
+    }
+}
+
+TEST(SubstrateBatch, KernelSelectionApi)
+{
+    const CacheKernel best = Cache::bestKernel();
+    EXPECT_TRUE(Cache::kernelSupported(best));
+    // Portable is always available and selectable.
+    EXPECT_TRUE(Cache::kernelSupported(CacheKernel::Portable));
+    {
+        ScopedKernel pin(CacheKernel::Portable);
+        EXPECT_EQ(Cache::activeKernel(), CacheKernel::Portable);
+    }
+    EXPECT_EQ(Cache::activeKernel(), best);
+    // Unsupported kernels are rejected without changing the active
+    // one (on non-SIMD builds both vector tiers are unsupported).
+    for (const CacheKernel kernel :
+         {CacheKernel::Sse41, CacheKernel::Avx2}) {
+        if (!Cache::kernelSupported(kernel)) {
+            EXPECT_FALSE(Cache::setKernel(kernel));
+            EXPECT_EQ(Cache::activeKernel(), best);
+        }
+    }
 }
 
 } // namespace

@@ -20,6 +20,11 @@
 #                                      fails on >20% items_per_second
 #                                      loss of any *Batch median)
 #        tools/ci.sh bench --update   (rewrite the committed baselines)
+#        tools/ci.sh nosimd           (portable-kernel leg: build with
+#                                      HISS_SIMD=OFF, run the lint gate
+#                                      plus the substrate-equivalence
+#                                      suites, proving the scalar
+#                                      fallback has not rotted)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -139,6 +144,26 @@ if [ "${1-}" = "bench" ]; then
     exit 0
 fi
 
+# `nosimd` mode: build with the SIMD kernels compiled out and run the
+# suites that pin the cache substrate (SubstrateBatch.* and the Cache
+# unit tests have no ctest label, so select by name), plus the lint
+# gate from the same tree. Keeps the portable fallback — what non-x86
+# hosts and HISS_SIMD=OFF builds actually run — continuously tested.
+run_nosimd() {
+    cmake --preset nosimd
+    cmake --build --preset nosimd -j "$jobs" \
+        --target hiss_tests hiss_lint hiss_lint_selftest
+    build-nosimd/tools/lint/hiss_lint_selftest --gtest_brief=1
+    build-nosimd/tools/lint/hiss_lint --root .
+    ctest --test-dir build-nosimd --output-on-failure -j "$jobs" \
+        -R 'SubstrateBatch|Cache'
+    echo "ci: nosimd leg passed"
+}
+if [ "${1-}" = "nosimd" ]; then
+    run_nosimd
+    exit 0
+fi
+
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
     presets=(default check asan tsan)
@@ -160,4 +185,7 @@ for p in "${presets[@]}"; do
     fi
 done
 
-echo "ci: all presets green (${presets[*]})"
+# The full sweep also exercises the portable-kernel build.
+run_nosimd
+
+echo "ci: all presets green (${presets[*]} nosimd)"

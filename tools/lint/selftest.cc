@@ -124,7 +124,9 @@ INSTANTIATE_TEST_SUITE_P(
                     "float_stat_accum_violation.cc",
                     "float_stat_accum_clean.cc", 2},
         RuleFixture{"stat-name", "stat_name_violation.cc",
-                    "stat_name_clean.cc", 4}),
+                    "stat_name_clean.cc", 4},
+        RuleFixture{"simd-gate", "simd_gate_violation.cc",
+                    "simd_gate_clean.cc", 3}),
     [](const ::testing::TestParamInfo<RuleFixture> &param_info) {
         std::string name = param_info.param.rule;
         std::replace(name.begin(), name.end(), '-', '_');
@@ -134,7 +136,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(LintRegistry, EveryRuleHasDescriptionAndHint)
 {
     const Registry registry = Registry::standard();
-    EXPECT_GE(registry.rules().size(), 6U);
+    EXPECT_GE(registry.rules().size(), 7U);
     for (const auto &rule : registry.rules()) {
         EXPECT_FALSE(rule->name().empty());
         EXPECT_FALSE(rule->description().empty()) << rule->name();
