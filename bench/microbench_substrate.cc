@@ -334,7 +334,7 @@ BM_IommuTranslateBatch(benchmark::State &state)
         reqs.clear();
         for (hiss::Vpn v = 0; v < IommuBench::kVpns; ++v)
             reqs.push_back(
-                {v, [&done](hiss::TranslateResult) { ++done; }});
+                {v, [&done](hiss::TranslateResult) { ++done; }, {}});
         bench.iommu().translateBatch(std::move(reqs));
         reqs.clear();
         bench.events().runUntil(bench.events().now()

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/snapshot_cache.h"
 #include "core/system.h"
 #include "sim/logging.h"
 #include "workloads/gpu_suite.h"
@@ -100,8 +101,11 @@ runCell(const std::string &cpu_app, const std::string &gpu_app,
     sys_config.applyMitigations(config.mitigation);
     if (config.qos_threshold > 0.0)
         sys_config.enableQos(config.qos_threshold);
-    if (config.check_invariants)
-        sys_config.check_invariants = true;
+    // ExperimentConfig is the sole authority on arming the invariant
+    // layer for experiment runs: a cell that leaves this false stays
+    // unarmed even when HISS_CHECK=ON flips the SystemConfig default
+    // (tests/test_invariants.cc ExperimentConfigArmsTheMonitor).
+    sys_config.check_invariants = config.check_invariants;
     if (config.fault.enabled())
         sys_config.fault = config.fault;
 
@@ -134,6 +138,47 @@ runCell(const std::string &cpu_app, const std::string &gpu_app,
     } else if (mode == MeasureMode::GpuPrimary
                || mode == MeasureMode::GpuOnly) {
         fatal("ExperimentRunner: GPU-measuring mode without a GPU app");
+    }
+
+    // Warm-state cut: advance to warmup_ticks before measuring. The
+    // first cell with a given (config fingerprint, warmup) key
+    // simulates the prefix and publishes it; later cells restore the
+    // snapshot, which is bit-identical to having simulated it (the
+    // snapshot round-trip contract, tests/test_snapshot.cc).
+    if (config.warmup_ticks > 0) {
+        if (config.warmup_ticks >= config.max_sim_time)
+            fatal("ExperimentConfig: warmup_ticks (%llu) must be "
+                  "below max_sim_time (%llu)",
+                  static_cast<unsigned long long>(config.warmup_ticks),
+                  static_cast<unsigned long long>(config.max_sim_time));
+        if (rate_based && config.warmup_ticks >= config.rate_window)
+            fatal("ExperimentConfig: warmup_ticks (%llu) must be "
+                  "below rate_window (%llu)",
+                  static_cast<unsigned long long>(config.warmup_ticks),
+                  static_cast<unsigned long long>(config.rate_window));
+        // checkMonitor(), not config.check_invariants: HISS_CHECK=ON
+        // builds arm the monitor by default, and an armed monitor
+        // refuses snapshots. Those cells warm up inline instead.
+        if (config.snapshot_cache != nullptr
+            && sys.checkMonitor() == nullptr) {
+            char key[64];
+            std::snprintf(key, sizeof key, "%016llx:%llu",
+                          static_cast<unsigned long long>(
+                              sys.configFingerprint()),
+                          static_cast<unsigned long long>(
+                              config.warmup_ticks));
+            bool built_here = false;
+            const std::string &blob =
+                config.snapshot_cache->getOrBuild(key, [&] {
+                    sys.runUntil(config.warmup_ticks);
+                    built_here = true;
+                    return sys.snapshotBytes();
+                });
+            if (!built_here)
+                sys.restoreSnapshotBytes(blob);
+        } else {
+            sys.runUntil(config.warmup_ticks);
+        }
     }
 
     RunResult result;

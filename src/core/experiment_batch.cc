@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/snapshot_cache.h"
 #include "sim/logging.h"
 
 namespace hiss {
@@ -64,6 +65,32 @@ class StealQueue
     std::mutex mutex_;
     std::deque<std::size_t> deque_;
 };
+
+/**
+ * Point warm-start cells with no cache of their own at @p cache so
+ * they share warm states across the batch. Returns the cell vector
+ * to execute: @p cells untouched when nothing needs the cache,
+ * otherwise a patched copy in @p storage.
+ */
+const std::vector<ExperimentCell> &
+withBatchCache(const std::vector<ExperimentCell> &cells,
+               SnapshotCache &cache,
+               std::vector<ExperimentCell> &storage)
+{
+    bool needed = false;
+    for (const ExperimentCell &cell : cells)
+        needed = needed
+                 || (cell.config.warmup_ticks > 0
+                     && cell.config.snapshot_cache == nullptr);
+    if (!needed)
+        return cells;
+    storage = cells;
+    for (ExperimentCell &cell : storage)
+        if (cell.config.warmup_ticks > 0
+            && cell.config.snapshot_cache == nullptr)
+            cell.config.snapshot_cache = &cache;
+    return storage;
+}
 
 } // namespace
 
@@ -132,7 +159,9 @@ ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
     if (cells.empty())
         return results;
     std::vector<std::exception_ptr> errors(cells.size());
-    execute(cells, results, errors);
+    SnapshotCache cache;
+    std::vector<ExperimentCell> storage;
+    execute(withBatchCache(cells, cache, storage), results, errors);
     for (std::exception_ptr &err : errors)
         if (err)
             std::rethrow_exception(err);
@@ -147,7 +176,9 @@ ExperimentBatch::runCatching(const std::vector<ExperimentCell> &cells) const
         return outcomes;
     std::vector<RunResult> results(cells.size());
     std::vector<std::exception_ptr> errors(cells.size());
-    execute(cells, results, errors);
+    SnapshotCache cache;
+    std::vector<ExperimentCell> storage;
+    execute(withBatchCache(cells, cache, storage), results, errors);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (errors[i]) {
             try {

@@ -1,0 +1,71 @@
+#include "core/snapshot_cache.h"
+
+namespace hiss {
+
+const std::string &
+SnapshotCache::getOrBuild(const std::string &key,
+                          const std::function<std::string()> &build)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        Entry &entry = entries_[key];
+        if (entry.ready) {
+            ++hits_;
+            return entry.blob;
+        }
+        if (!entry.building) {
+            entry.building = true;
+            ++misses_;
+            lock.unlock();
+            std::string blob;
+            try {
+                blob = build();
+            } catch (...) {
+                // Un-claim the entry so a waiter can retry, then let
+                // the failure propagate to this cell's caller.
+                lock.lock();
+                entries_[key].building = false;
+                cv_.notify_all();
+                throw;
+            }
+            lock.lock();
+            Entry &done = entries_[key];
+            done.blob = std::move(blob);
+            done.ready = true;
+            cv_.notify_all();
+            return done.blob;
+        }
+        // Someone else is building: wait for ready or a failed build.
+        cv_.wait(lock, [this, &key] {
+            const auto it = entries_.find(key);
+            return it == entries_.end() || it->second.ready
+                   || !it->second.building;
+        });
+    }
+}
+
+std::size_t
+SnapshotCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &[key, entry] : entries_)
+        n += entry.ready ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SnapshotCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+SnapshotCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace hiss

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Compute-once cache of warm-state snapshots.
+ *
+ * A warmup-heavy sweep runs many cells that share the same simulated
+ * prefix: identical system config, workload, and seed, differing only
+ * in what is measured afterwards. SnapshotCache lets the first such
+ * cell publish its warm state (a framed snapshot blob) so every later
+ * cell restores it instead of re-simulating the prefix.
+ *
+ * Thread-safe: ExperimentBatch workers race on the same key. The
+ * first caller becomes the builder and runs its builder function
+ * outside the lock; the others block until the blob is ready. If the
+ * builder throws, one waiter is promoted to builder and retries, so a
+ * failed build never wedges the pool.
+ */
+
+#ifndef HISS_CORE_SNAPSHOT_CACHE_H_
+#define HISS_CORE_SNAPSHOT_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hiss {
+
+/** Keyed store of framed snapshot blobs with compute-once semantics. */
+class SnapshotCache
+{
+  public:
+    SnapshotCache() = default;
+    SnapshotCache(const SnapshotCache &) = delete;
+    SnapshotCache &operator=(const SnapshotCache &) = delete;
+
+    /**
+     * Return the blob stored under @p key, building it with @p build
+     * if absent. Exactly one concurrent caller per key runs @p build;
+     * the rest wait for its result. The returned reference stays
+     * valid for the cache's lifetime (entries are never evicted).
+     */
+    const std::string &getOrBuild(const std::string &key,
+                                  const std::function<std::string()> &build);
+
+    /** Blobs built so far. */
+    std::size_t size() const;
+
+    /** Calls served from an already-built blob. */
+    std::uint64_t hits() const;
+
+    /** Calls that had to build (== distinct keys on a clean run). */
+    std::uint64_t misses() const;
+
+  private:
+    struct Entry
+    {
+        bool ready = false;
+        bool building = false;
+        std::string blob;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    // std::map: node-stable, so blob references survive later inserts.
+    std::map<std::string, Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hiss
+
+#endif // HISS_CORE_SNAPSHOT_CACHE_H_

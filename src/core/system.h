@@ -15,12 +15,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "core/config.h"
 #include "fault/fault_injector.h"
 #include "gpu/gpu.h"
 #include "gpu/signal_queue.h"
 #include "iommu/iommu.h"
 #include "os/kernel.h"
+#include "snap/snap.h"
 #include "workloads/cpu_app.h"
 
 namespace hiss {
@@ -105,7 +108,57 @@ class HeteroSystem
      */
     void setTraceWriter(TraceWriter *trace) { ctx_.trace = trace; }
 
+    /// @name Snapshot / restore (src/snap).
+    ///
+    /// saveSnapshot() serializes the full dynamic state — every RNG
+    /// stream, cache, queue, in-flight request, and pending event —
+    /// behind a config fingerprint. restoreSnapshot() is its mirror:
+    /// it must be called on a freshly built system constructed from
+    /// the same config with the same addCpuApp()/launchGpu()/
+    /// addAccelerator() calls replayed (structure is never
+    /// serialized; the fingerprint guards against divergence). A
+    /// restored run is bit-identical to the run that kept going.
+    ///
+    /// Snapshots are refused while the invariant monitor is armed
+    /// (its ledgers hold raw pointers that cannot be serialized).
+    /// @{
+    /** Serialize full simulator state into @p w (unframed payload). */
+    void saveSnapshot(snap::Writer &w) const;
+    /** Mirror of saveSnapshot() against a same-config system. */
+    void restoreSnapshot(snap::Reader &r);
+    /** Framed snapshot blob (header + checksum), ready for a file. */
+    std::string snapshotBytes() const;
+    /** Restore from a blob produced by snapshotBytes(). */
+    void restoreSnapshotBytes(const std::string &blob);
+    /** snapshotBytes() to a file (atomic via writeFile). */
+    void saveSnapshotFile(const std::string &path) const;
+    /** restoreSnapshotBytes() from a file. */
+    void restoreSnapshotFile(const std::string &path);
+    /**
+     * Order-insensitive digest of all dynamic state. Two systems
+     * with equal hashes are (with overwhelming probability) in the
+     * same state; used by tests to prove restore fidelity and by
+     * trace_diff to locate divergences.
+     */
+    std::uint64_t stateHash() const;
+    /**
+     * Digest of everything structural: config description, seed,
+     * fault plan label, workload shape, and the registered stat
+     * names. Stored in every snapshot; restore refuses a mismatch.
+     */
+    std::uint64_t configFingerprint() const;
+    /// @}
+
   private:
+    /** The GPU with device id @p id (0 = primary). */
+    Gpu &gpuByDevice(std::uint64_t id);
+    /** Resolver handed to the IOMMU for device callback rebuild. */
+    Iommu::CallbackResolver callbackResolver();
+    /** Rebuilds SsrRequest callbacks from the request's origin tag. */
+    RequestRebuild requestRebuild();
+    /** Composite event-tag resolver covering every subsystem. */
+    EventQueue::Callback resolveTag(const snap::Tag &tag);
+
     SystemConfig config_;
     EventQueue events_;
     StatRegistry stats_;

@@ -4,6 +4,7 @@
 
 #include "sim/logging.h"
 #include "sim/tracing.h"
+#include "snap/access.h"
 
 namespace hiss {
 namespace {
@@ -152,9 +153,10 @@ CpuCore::goIdle()
         panic("%s: goIdle with an attached thread", name().c_str());
     state_ = CoreState::Idle;
     if (grace_event_ == kInvalidEventId || !events().pending(grace_event_))
-        grace_event_ = scheduleAfter(params_.idle_grace,
-                                     [this] { enterSleep(); },
-                                     EventPriority::Stats);
+        grace_event_ = scheduleAfter(
+            params_.idle_grace, [this] { enterSleep(); },
+            EventPriority::Stats,
+            {{"core.grace", static_cast<std::uint64_t>(index_)}, {}});
 }
 
 void
@@ -311,7 +313,9 @@ CpuCore::beginRunBurst(const BurstRequest &request)
     burst_duration_ = duration;
     burst_active_ = true;
     state_ = CoreState::Running;
-    burst_event_ = scheduleAfter(duration, [this] { finishBurst(); });
+    burst_event_ = scheduleAfter(
+        duration, [this] { finishBurst(); }, EventPriority::Default,
+        {{"core.burst", static_cast<std::uint64_t>(index_)}, {}});
 }
 
 void
@@ -394,8 +398,9 @@ CpuCore::serviceNextIrq()
     irq_duration_ = overhead + body;
     if (irq_duration_ == 0)
         irq_duration_ = 1;
-    irq_event_ = scheduleAfter(irq_duration_, [this] { finishIrq(); },
-                               EventPriority::Interrupt);
+    irq_event_ = scheduleAfter(
+        irq_duration_, [this] { finishIrq(); }, EventPriority::Interrupt,
+        {{"core.irq", static_cast<std::uint64_t>(index_)}, {}});
 }
 
 void
@@ -425,9 +430,10 @@ CpuCore::beginWake()
                                 now() - sleep_entered_);
     state_ = CoreState::Waking;
     ++wakeups_;
-    wake_event_ = scheduleAfter(params_.cc6_exit_latency,
-                                [this] { finishWake(); },
-                                EventPriority::Interrupt);
+    wake_event_ = scheduleAfter(
+        params_.cc6_exit_latency, [this] { finishWake(); },
+        EventPriority::Interrupt,
+        {{"core.wake", static_cast<std::uint64_t>(index_)}, {}});
 }
 
 void
@@ -449,9 +455,10 @@ CpuCore::enterSleep()
         && now() - last_irq_time_ < params_.min_sleep_gap) {
         // The governor predicts another interrupt too soon for CC6
         // residency to pay off; stay in shallow idle and re-check.
-        grace_event_ = scheduleAfter(params_.idle_grace,
-                                     [this] { enterSleep(); },
-                                     EventPriority::Stats);
+        grace_event_ = scheduleAfter(
+            params_.idle_grace, [this] { enterSleep(); },
+            EventPriority::Stats,
+            {{"core.grace", static_cast<std::uint64_t>(index_)}, {}});
         return;
     }
     state_ = CoreState::Asleep;
@@ -561,6 +568,234 @@ CpuCore::finalizeStats()
         cc6_ticks_ += now() - sleep_entered_;
         sleep_entered_ = now();
     }
+}
+
+namespace {
+
+void
+saveBurst(snap::Writer &w, const BurstRequest &b)
+{
+    w.u32(static_cast<std::uint32_t>(b.kind));
+    w.u64(b.instructions);
+    w.u64(b.duration);
+    w.b(b.kernel_mode);
+    w.b(b.ssr_work);
+    w.u32(b.mem_accesses);
+    w.u32(b.branches);
+    w.f64(b.base_cpi);
+}
+
+BurstRequest
+restoreBurst(snap::Reader &r)
+{
+    BurstRequest b;
+    b.kind = static_cast<BurstRequest::Kind>(r.u32());
+    b.instructions = r.u64();
+    b.duration = r.u64();
+    b.kernel_mode = r.b();
+    b.ssr_work = r.b();
+    b.mem_accesses = r.u32();
+    b.branches = r.u32();
+    b.base_cpi = r.f64();
+    // Stream pointers are only read inside beginRunBurst, before the
+    // stored copy is overwritten; a restored in-flight burst never
+    // dereferences them again.
+    b.astream = nullptr;
+    b.bstream = nullptr;
+    return b;
+}
+
+void
+saveIrq(snap::Writer &w, const Irq &irq)
+{
+    if (irq.token.empty())
+        throw snap::SnapshotError("cannot snapshot: queued irq '" +
+                                  irq.label + "' has no producer token");
+    w.token(irq.token);
+}
+
+} // namespace
+
+void
+CpuCore::snapSave(snap::Writer &w) const
+{
+    w.section(name().c_str());
+    snap::Access::save(w, rng());
+    snap::Access::save(w, l1d_);
+    snap::Access::save(w, bp_);
+    snap::Access::save(w, kernel_astream_);
+    snap::Access::save(w, kernel_bstream_);
+    w.u32(pending_kfp_accesses_);
+    w.u32(pending_kfp_branches_);
+
+    w.u32(static_cast<std::uint32_t>(state_));
+    w.i64(current_ != nullptr ? current_->id() : -1);
+
+    w.u64(pending_overhead_);
+    w.u64(burst_overhead_);
+    w.b(burst_active_);
+    saveBurst(w, burst_);
+    w.u64(burst_start_);
+    w.u64(burst_duration_);
+    w.u64(burst_instructions_);
+    w.u64(burst_event_);
+
+    w.u64(pending_irqs_.size());
+    for (const Irq &irq : pending_irqs_)
+        saveIrq(w, irq);
+    w.b(active_irq_.has_value());
+    if (active_irq_.has_value())
+        saveIrq(w, *active_irq_);
+    w.u64(irq_start_);
+    w.u64(irq_duration_);
+    w.u64(irq_event_);
+
+    w.u64(grace_event_);
+    w.u64(wake_event_);
+    w.u64(sleep_entered_);
+    w.u64(cc6_ticks_);
+    w.u64(last_irq_time_);
+    w.u64(irq_gap_ema_);
+    w.b(last_mode_kernel_);
+
+    w.u64(user_ticks_);
+    w.u64(kernel_ticks_);
+    w.u64(ssr_ticks_);
+    w.u64(irq_count_);
+    w.u64(ipi_count_);
+    w.u64(wakeups_);
+    w.u64(mode_switches_);
+    w.u64(ctx_switches_);
+    w.u64(user_instructions_);
+    w.u64(user_l1d_accesses_);
+    w.u64(user_l1d_misses_);
+    w.u64(user_branches_);
+    w.u64(user_branch_misses_);
+}
+
+void
+CpuCore::snapRestore(snap::Reader &r, const IrqRebuild &irqs,
+                     const std::function<Thread *(int)> &threadById)
+{
+    r.section(name().c_str());
+    snap::Access::restore(r, rng());
+    snap::Access::restore(r, l1d_);
+    snap::Access::restore(r, bp_);
+    snap::Access::restore(r, kernel_astream_);
+    snap::Access::restore(r, kernel_bstream_);
+    pending_kfp_accesses_ = r.u32();
+    pending_kfp_branches_ = r.u32();
+
+    state_ = static_cast<CoreState>(r.u32());
+    const auto current_id = static_cast<int>(r.i64());
+    current_ = current_id >= 0 ? threadById(current_id) : nullptr;
+
+    pending_overhead_ = r.u64();
+    burst_overhead_ = r.u64();
+    burst_active_ = r.b();
+    burst_ = restoreBurst(r);
+    burst_start_ = r.u64();
+    burst_duration_ = r.u64();
+    burst_instructions_ = r.u64();
+    burst_event_ = r.u64();
+
+    pending_irqs_.clear();
+    const std::uint64_t n_irqs = r.u64();
+    for (std::uint64_t i = 0; i < n_irqs; ++i)
+        pending_irqs_.push_back(irqs(r.token()));
+    active_irq_.reset();
+    if (r.b())
+        active_irq_ = irqs(r.token());
+    irq_start_ = r.u64();
+    irq_duration_ = r.u64();
+    irq_event_ = r.u64();
+
+    grace_event_ = r.u64();
+    wake_event_ = r.u64();
+    sleep_entered_ = r.u64();
+    cc6_ticks_ = r.u64();
+    last_irq_time_ = r.u64();
+    irq_gap_ema_ = r.u64();
+    last_mode_kernel_ = r.b();
+
+    user_ticks_ = r.u64();
+    kernel_ticks_ = r.u64();
+    ssr_ticks_ = r.u64();
+    irq_count_ = r.u64();
+    ipi_count_ = r.u64();
+    wakeups_ = r.u64();
+    mode_switches_ = r.u64();
+    ctx_switches_ = r.u64();
+    user_instructions_ = r.u64();
+    user_l1d_accesses_ = r.u64();
+    user_l1d_misses_ = r.u64();
+    user_branches_ = r.u64();
+    user_branch_misses_ = r.u64();
+}
+
+EventQueue::Callback
+CpuCore::rebuildEvent(const snap::Tag &tag)
+{
+    if (tag.self.is("core.grace"))
+        return [this] { enterSleep(); };
+    if (tag.self.is("core.burst"))
+        return [this] { finishBurst(); };
+    if (tag.self.is("core.irq"))
+        return [this] { finishIrq(); };
+    if (tag.self.is("core.wake"))
+        return [this] { finishWake(); };
+    throw snap::SnapshotError("unknown core event tag '" +
+                              std::string(tag.self.kind) + "'");
+}
+
+std::uint64_t
+CpuCore::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(l1d_.stateHash());
+    h.mix(bp_.stateHash());
+    h.mix(pending_kfp_accesses_);
+    h.mix(pending_kfp_branches_);
+    h.mix(static_cast<std::uint64_t>(state_));
+    h.mix(current_ != nullptr
+              ? static_cast<std::uint64_t>(current_->id())
+              : ~std::uint64_t{0});
+    h.mix(pending_overhead_);
+    h.mix(burst_overhead_);
+    h.mix(burst_active_ ? 1 : 0);
+    h.mix(burst_start_);
+    h.mix(burst_duration_);
+    h.mix(burst_instructions_);
+    h.mix(burst_event_);
+    h.mix(pending_irqs_.size());
+    for (const Irq &irq : pending_irqs_)
+        h.mixString(irq.label);
+    h.mix(active_irq_.has_value() ? 1 : 0);
+    h.mix(irq_start_);
+    h.mix(irq_duration_);
+    h.mix(irq_event_);
+    h.mix(grace_event_);
+    h.mix(wake_event_);
+    h.mix(sleep_entered_);
+    h.mix(cc6_ticks_);
+    h.mix(last_irq_time_);
+    h.mix(irq_gap_ema_);
+    h.mix(last_mode_kernel_ ? 1 : 0);
+    h.mix(user_ticks_);
+    h.mix(kernel_ticks_);
+    h.mix(ssr_ticks_);
+    h.mix(irq_count_);
+    h.mix(ipi_count_);
+    h.mix(wakeups_);
+    h.mix(mode_switches_);
+    h.mix(ctx_switches_);
+    h.mix(user_instructions_);
+    h.mix(user_l1d_accesses_);
+    h.mix(user_l1d_misses_);
+    h.mix(user_branches_);
+    h.mix(user_branch_misses_);
+    return h.value();
 }
 
 } // namespace hiss

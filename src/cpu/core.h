@@ -39,6 +39,14 @@ struct Irq
     /** Debug label ("iommu-ppr", "resched-ipi", "timer"). */
     std::string label;
 
+    /**
+     * Snapshot identity: names the producer that built this Irq so a
+     * queued (not yet serviced) interrupt can be rebuilt on restore.
+     * Producers that can have interrupts in flight at snapshot time
+     * must set this; an untagged queued Irq fails the save.
+     */
+    snap::Token token;
+
     /** True for inter-processor interrupts (counted separately). */
     bool is_ipi = false;
 
@@ -256,6 +264,32 @@ class CpuCore : public SimObject
 
     Cache &l1d() { return l1d_; }
     BranchPredictor &branchPredictor() { return bp_; }
+
+    /// @name Snapshot support.
+    /// @{
+    /** Rebuilds a queued Irq from its producer token on restore. */
+    using IrqRebuild = std::function<Irq(const snap::Token &)>;
+
+    /** Serialize all dynamic core state (substrate, burst, irqs). */
+    void snapSave(snap::Writer &w) const;
+
+    /**
+     * Restore state saved by snapSave() into this freshly built core.
+     * @param irqs       rebuilds queued interrupts from their tokens.
+     * @param threadById resolves the attached thread, if any.
+     */
+    void snapRestore(snap::Reader &r, const IrqRebuild &irqs,
+                     const std::function<Thread *(int)> &threadById);
+
+    /** Rebuild a pending event callback from its tag ("core.*"). */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag);
+
+    /**
+     * Digest of all behaviour-relevant core state (substrate hashes,
+     * burst/irq bookkeeping, accounting counters, RNG cursor).
+     */
+    std::uint64_t stateHash() const;
+    /// @}
 
   private:
     void startNextBurst();

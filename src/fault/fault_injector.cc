@@ -1,5 +1,10 @@
 #include "fault/fault_injector.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "snap/access.h"
+
 namespace hiss {
 
 FaultInjector::FaultInjector(SimContext &ctx, const FaultPlan &plan)
@@ -127,6 +132,13 @@ FaultInjector::takeUnledgeredDrop()
 }
 
 void
+FaultInjector::registerSource(const std::string &name, const void *source)
+{
+    sources_by_name_[name] = source;
+    source_names_[source] = name;
+}
+
+void
 FaultInjector::recordInjectedLoss(const void *source, std::uint64_t id)
 {
     loss_ledger_[source].insert(id);
@@ -152,6 +164,100 @@ FaultInjector::totalInjected() const
     return pprs_overflowed_ + irqs_dropped_ + irqs_duplicated_
            + irqs_delayed_ + ipis_delayed_ + kworker_stalls_
            + signals_lost_;
+}
+
+void
+FaultInjector::snapSave(snap::Writer &w) const
+{
+    w.section("faults");
+    snap::Access::save(w, rng());
+    w.u64(pprs_overflowed_);
+    w.u64(irqs_dropped_);
+    w.u64(irqs_duplicated_);
+    w.u64(irqs_delayed_);
+    w.u64(ipis_delayed_);
+    w.u64(kworker_stalls_);
+    w.u64(signals_lost_);
+    w.u32(static_cast<std::uint32_t>(unledgered_drops_left_));
+    // Ledger, keyed by registered source name (name order for
+    // determinism; ids sorted within each source).
+    std::uint64_t named = 0;
+    for (const auto &[source, ids] : loss_ledger_) {
+        if (ids.empty())
+            continue;
+        if (source_names_.count(source) == 0)
+            throw snap::SnapshotError(
+                "loss ledger has entries from an unregistered source");
+        ++named;
+    }
+    w.u64(named);
+    for (const auto &[name, source] : sources_by_name_) {
+        const auto it = loss_ledger_.find(source);
+        if (it == loss_ledger_.end() || it->second.empty())
+            continue;
+        w.str(name);
+        std::vector<std::uint64_t> ids(it->second.begin(),
+                                       it->second.end());
+        std::sort(ids.begin(), ids.end());
+        w.u64(ids.size());
+        for (const std::uint64_t id : ids)
+            w.u64(id);
+    }
+}
+
+void
+FaultInjector::snapRestore(snap::Reader &r)
+{
+    r.section("faults");
+    snap::Access::restore(r, rng());
+    pprs_overflowed_ = r.u64();
+    irqs_dropped_ = r.u64();
+    irqs_duplicated_ = r.u64();
+    irqs_delayed_ = r.u64();
+    ipis_delayed_ = r.u64();
+    kworker_stalls_ = r.u64();
+    signals_lost_ = r.u64();
+    unledgered_drops_left_ = static_cast<int>(r.u32());
+    loss_ledger_.clear();
+    const std::uint64_t named = r.u64();
+    for (std::uint64_t i = 0; i < named; ++i) {
+        const std::string name = r.str();
+        const auto it = sources_by_name_.find(name);
+        if (it == sources_by_name_.end())
+            throw snap::SnapshotError("loss ledger names unknown source '"
+                                      + name + "'");
+        auto &ids = loss_ledger_[it->second];
+        const std::uint64_t count = r.u64();
+        for (std::uint64_t j = 0; j < count; ++j)
+            ids.insert(r.u64());
+    }
+}
+
+std::uint64_t
+FaultInjector::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(pprs_overflowed_);
+    h.mix(irqs_dropped_);
+    h.mix(irqs_duplicated_);
+    h.mix(irqs_delayed_);
+    h.mix(ipis_delayed_);
+    h.mix(kworker_stalls_);
+    h.mix(signals_lost_);
+    h.mix(static_cast<std::uint64_t>(unledgered_drops_left_));
+    for (const auto &[name, source] : sources_by_name_) {
+        const auto it = loss_ledger_.find(source);
+        if (it == loss_ledger_.end())
+            continue;
+        h.mixString(name);
+        std::vector<std::uint64_t> ids(it->second.begin(),
+                                       it->second.end());
+        std::sort(ids.begin(), ids.end());
+        for (const std::uint64_t id : ids)
+            h.mix(id);
+    }
+    return h.value();
 }
 
 } // namespace hiss

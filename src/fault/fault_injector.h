@@ -20,11 +20,14 @@
 #define HISS_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "fault/fault_plan.h"
 #include "sim/sim_object.h"
+#include "snap/snap.h"
 
 namespace hiss {
 
@@ -72,6 +75,14 @@ class FaultInjector : public SimObject
 
     // -- loss ledger --------------------------------------------------
 
+    /**
+     * Give @p source a stable name so its ledger entries survive a
+     * snapshot (the ledger is keyed by pointer, which is only
+     * meaningful within one process). Components that record losses
+     * register themselves at construction.
+     */
+    void registerSource(const std::string &name, const void *source);
+
     /** Record an injected permanent loss of (source, id). */
     void recordInjectedLoss(const void *source, std::uint64_t id);
 
@@ -94,11 +105,21 @@ class FaultInjector : public SimObject
     /** Total faults injected across all classes. */
     std::uint64_t totalInjected() const;
 
+    /// @name Snapshot support (rng stream, counters, loss ledger).
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     FaultPlan plan_;
 
     std::unordered_map<const void *, std::unordered_set<std::uint64_t>>
         loss_ledger_;
+    /** Stable source names for ledger serialization (name-sorted). */
+    std::map<std::string, const void *> sources_by_name_;
+    std::unordered_map<const void *, std::string> source_names_;
 
     std::uint64_t pprs_overflowed_ = 0;
     std::uint64_t irqs_dropped_ = 0;

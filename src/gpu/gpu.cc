@@ -3,6 +3,7 @@
 #include "fault/fault_injector.h"
 #include "os/qos_governor.h"
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 namespace {
@@ -207,12 +208,30 @@ Gpu::issueTranslate(int w)
         [this, w, count_fault](TranslateResult result) {
             onTranslateResult(w, result, count_fault);
         };
+    const snap::Token token{"gpu.xlate",
+                            static_cast<std::uint64_t>(params_.device_id),
+                            static_cast<std::uint64_t>(w),
+                            count_fault ? 1u : 0u};
     if (batching_) {
-        batch_reqs_.push_back({wf.work.vpn, std::move(cb)});
+        batch_reqs_.push_back({wf.work.vpn, std::move(cb), token});
         return;
     }
     iommu_.translate(wf.work.vpn, std::move(cb), demand_paging_,
-                     static_cast<Pasid>(params_.device_id));
+                     static_cast<Pasid>(params_.device_id), token);
+}
+
+Iommu::TranslateCallback
+Gpu::rebuildTranslateCallback(const snap::Token &token)
+{
+    if (!token.is("gpu.xlate"))
+        throw snap::SnapshotError(
+            std::string("unknown gpu callback token '")
+            + (token.kind != nullptr ? token.kind : "") + "'");
+    const int w = static_cast<int>(token.b);
+    const bool count_fault = token.c != 0;
+    return [this, w, count_fault](TranslateResult result) {
+        onTranslateResult(w, result, count_fault);
+    };
 }
 
 void
@@ -244,7 +263,10 @@ Gpu::onTranslateResult(int w, TranslateResult result, bool count_fault)
               wf.retries,
               static_cast<unsigned long long>(wf.backoff));
         scheduleAfter(wf.backoff, [this, w] { beginTranslate(w); },
-                      EventPriority::Device);
+                      EventPriority::Device,
+                      {{"gpu.retry",
+                        static_cast<std::uint64_t>(params_.device_id),
+                        static_cast<std::uint64_t>(w)}, {}});
         return;
     }
     abortWavefront(w);
@@ -289,7 +311,10 @@ Gpu::onTranslated(int w)
             static_cast<double>(workload_.fault_replay)
             * rng().uniformReal(0.6, 1.4));
         scheduleAfter(replay, [this, w] { processChunks(w); },
-                      EventPriority::Device);
+                      EventPriority::Device,
+                      {{"gpu.replay",
+                        static_cast<std::uint64_t>(params_.device_id),
+                        static_cast<std::uint64_t>(w)}, {}});
         return;
     }
     processChunks(w);
@@ -306,7 +331,9 @@ Gpu::processChunks(int w)
     scheduleAfter(duration == 0 ? 1 : duration, [this, w, chunks] {
         chunks_completed_ += chunks;
         wavefrontFetch(w);
-    }, EventPriority::Device);
+    }, EventPriority::Device,
+    {{"gpu.chunk", static_cast<std::uint64_t>(params_.device_id),
+      static_cast<std::uint64_t>(w), chunks}, {}});
 }
 
 void
@@ -334,6 +361,151 @@ Gpu::ssrRate() const
     if (elapsed == 0)
         return 0.0;
     return static_cast<double>(faults_resolved_) / ticksToSec(elapsed);
+}
+
+EventQueue::Callback
+Gpu::rebuildEvent(const snap::Tag &tag)
+{
+    const snap::Token &t = tag.self;
+    const int w = static_cast<int>(t.b);
+    if (t.is("gpu.retry"))
+        return [this, w] { beginTranslate(w); };
+    if (t.is("gpu.replay"))
+        return [this, w] { processChunks(w); };
+    if (t.is("gpu.chunk")) {
+        const std::uint64_t chunks = t.c;
+        return [this, w, chunks] {
+            chunks_completed_ += chunks;
+            wavefrontFetch(w);
+        };
+    }
+    throw snap::SnapshotError(
+        std::string("unknown gpu event tag '")
+        + (t.kind != nullptr ? t.kind : "") + "'");
+}
+
+void
+Gpu::snapSave(snap::Writer &w) const
+{
+    w.section(name().c_str());
+    // batching_ is only true synchronously inside resetForLaunch, so
+    // it can never be set at an event boundary where saves happen.
+    snap::Access::save(w, rng());
+    w.b(demand_paging_);
+    w.b(loop_);
+    w.u32(static_cast<std::uint32_t>(phase_));
+    w.u64(wavefronts_.size());
+    for (const Wavefront &wf : wavefronts_) {
+        w.b(wf.busy);
+        w.u64(wf.work.vpn);
+        w.u64(wf.work.chunks);
+        w.b(wf.work.fresh);
+        w.b(wf.work.valid);
+        w.u64(wf.stall_start);
+        w.u32(static_cast<std::uint32_t>(wf.retries));
+        w.u64(wf.backoff);
+    }
+    w.u64(slot_waiters_.size());
+    for (const int waiter : slot_waiters_)
+        w.u32(static_cast<std::uint32_t>(waiter));
+    w.u32(outstanding_);
+    w.u64(next_new_vpn_);
+    w.u64(touched_pages_);
+    w.u64(preload_pages_left_);
+    w.u64(main_visits_left_);
+    w.u64(generation_);
+    w.u64(kernels_completed_);
+    w.u64(first_completion_);
+    w.u64(launch_time_);
+    w.u64(chunks_completed_);
+    w.u64(faults_issued_);
+    w.u64(faults_resolved_);
+    w.u64(aborted_wavefronts_);
+    w.u64(translate_retries_);
+    w.u64(stall_ticks_);
+}
+
+void
+Gpu::snapRestore(snap::Reader &r)
+{
+    r.section(name().c_str());
+    snap::Access::restore(r, rng());
+    demand_paging_ = r.b();
+    loop_ = r.b();
+    phase_ = static_cast<Phase>(r.u32());
+    if (r.u64() != wavefronts_.size())
+        throw snap::SnapshotError(
+            name() + ": wavefront count mismatch (launch() not "
+                     "replayed with the snapshot's workload?)");
+    for (Wavefront &wf : wavefronts_) {
+        wf.busy = r.b();
+        wf.work.vpn = r.u64();
+        wf.work.chunks = r.u64();
+        wf.work.fresh = r.b();
+        wf.work.valid = r.b();
+        wf.stall_start = r.u64();
+        wf.retries = static_cast<int>(r.u32());
+        wf.backoff = r.u64();
+    }
+    slot_waiters_.clear();
+    const std::uint64_t waiters = r.u64();
+    for (std::uint64_t i = 0; i < waiters; ++i)
+        slot_waiters_.push_back(static_cast<int>(r.u32()));
+    outstanding_ = r.u32();
+    next_new_vpn_ = r.u64();
+    touched_pages_ = r.u64();
+    preload_pages_left_ = r.u64();
+    main_visits_left_ = r.u64();
+    generation_ = r.u64();
+    kernels_completed_ = r.u64();
+    first_completion_ = r.u64();
+    launch_time_ = r.u64();
+    chunks_completed_ = r.u64();
+    faults_issued_ = r.u64();
+    faults_resolved_ = r.u64();
+    aborted_wavefronts_ = r.u64();
+    translate_retries_ = r.u64();
+    stall_ticks_ = r.u64();
+}
+
+std::uint64_t
+Gpu::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(demand_paging_ ? 1 : 0);
+    h.mix(loop_ ? 1 : 0);
+    h.mix(static_cast<std::uint64_t>(phase_));
+    h.mix(wavefronts_.size());
+    for (const Wavefront &wf : wavefronts_) {
+        h.mix(wf.busy ? 1 : 0);
+        h.mix(wf.work.vpn);
+        h.mix(wf.work.chunks);
+        h.mix(wf.work.fresh ? 1 : 0);
+        h.mix(wf.work.valid ? 1 : 0);
+        h.mix(wf.stall_start);
+        h.mix(static_cast<std::uint64_t>(wf.retries));
+        h.mix(wf.backoff);
+    }
+    h.mix(slot_waiters_.size());
+    for (const int waiter : slot_waiters_)
+        h.mix(static_cast<std::uint64_t>(waiter));
+    h.mix(outstanding_);
+    h.mix(next_new_vpn_);
+    h.mix(touched_pages_);
+    h.mix(preload_pages_left_);
+    h.mix(main_visits_left_);
+    h.mix(generation_);
+    h.mix(kernels_completed_);
+    h.mix(first_completion_);
+    h.mix(launch_time_);
+    h.mix(chunks_completed_);
+    h.mix(faults_issued_);
+    h.mix(faults_resolved_);
+    h.mix(aborted_wavefronts_);
+    h.mix(translate_retries_);
+    h.mix(stall_ticks_);
+    return h.value();
 }
 
 } // namespace hiss

@@ -135,6 +135,22 @@ class Gpu : public SimObject
 
     std::uint32_t outstanding() const { return outstanding_; }
 
+    /// @name Snapshot support.
+    /// @{
+    /** Serialize workload progress, wavefront states, and counters.
+     *  Structure (wavefront count, workload params) comes from the
+     *  launch() replayed on the restore target. */
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    /** Rebuild an in-flight translate callback from its token
+     *  ("gpu.xlate", device, wavefront, count_fault). */
+    Iommu::TranslateCallback
+    rebuildTranslateCallback(const snap::Token &token);
+    /** Rebuild the callback of any gpu.* event tag. */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     enum class Phase { Idle, Preload, Main, Drain };
 

@@ -12,6 +12,9 @@ SignalQueue::SignalQueue(SimContext &ctx, Kernel &kernel,
 {
     if (params.steer_core >= kernel.numCores())
         fatal("SignalQueue: steer_core %d out of range", params.steer_core);
+    if (FaultInjector *faults = faultInjector())
+        faults->registerSource(
+            name(), static_cast<const RequestSource *>(this));
     stats().addFormula("gpu_signal_queue.sent", "signal SSRs sent",
                        [this] {
                            return static_cast<double>(signals_sent_);
@@ -40,8 +43,10 @@ SignalQueue::SignalQueue(SimContext &ctx, Kernel &kernel,
 }
 
 void
-SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
+SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered,
+                        snap::Token cb_token)
 {
+    const bool had_cb = static_cast<bool>(on_delivered);
     FaultInjector *faults = faultInjector();
     if (faults != nullptr && faults->loseSignal()) {
         // The descriptor write is lost in the queue. The loss is
@@ -60,11 +65,13 @@ SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
               static_cast<unsigned long long>(id));
         if (faults->plan().signal_resend > 0) {
             scheduleAfter(faults->plan().signal_resend,
-                          [this, cb = std::move(on_delivered)]() mutable {
+                          [this, cb = std::move(on_delivered),
+                           cb_token]() mutable {
                               ++signals_resent_;
-                              sendSignal(std::move(cb));
+                              sendSignal(std::move(cb), cb_token);
                           },
-                          EventPriority::Device);
+                          EventPriority::Device,
+                          {{"sig.resend", had_cb ? 1u : 0u}, cb_token});
         }
         return;
     }
@@ -73,6 +80,7 @@ SignalQueue::sendSignal(std::function<void(CpuCore &)> on_delivered)
     request.id = next_id_++;
     request.kind = ServiceKind::Signal;
     request.issued_at = now();
+    request.origin = {{"sig.req", had_cb ? 1u : 0u}, cb_token};
     request.on_service_complete =
         [this, cb = std::move(on_delivered)](CpuCore &core) {
             ++signals_delivered_;
@@ -119,7 +127,7 @@ SignalQueue::considerRaise()
                     ++irq_recoveries_;
                     considerRaise();
                 }
-            }, EventPriority::Device);
+            }, EventPriority::Device, {{"sig.irqwd"}, {}});
             return;
         }
         latency += fate.extra_delay;
@@ -127,13 +135,14 @@ SignalQueue::considerRaise()
             scheduleAfter(latency + params_.msi_latency, [this] {
                 kernel_.deliverIrq(pickTarget(),
                                    driver_->makeInterrupt());
-            }, EventPriority::Device);
+            }, EventPriority::Device, {{"sig.irqdup"}, {}});
         }
     }
     const int target = pickTarget();
     scheduleAfter(latency, [this, target] {
         kernel_.deliverIrq(target, driver_->makeInterrupt());
-    }, EventPriority::Device);
+    }, EventPriority::Device,
+    {{"sig.irq", static_cast<std::uint64_t>(target)}, {}});
 }
 
 std::vector<SsrRequest>
@@ -153,6 +162,120 @@ SignalQueue::ack()
 {
     irq_inflight_ = false;
     considerRaise();
+}
+
+void
+SignalQueue::rebuildRequestCallbacks(SsrRequest &request)
+{
+    if (request.origin.self.a != 0)
+        throw snap::SnapshotError(
+            "in-flight signal " + std::to_string(request.id)
+            + " carries a live delivery callback; signals with "
+              "callbacks cannot cross a snapshot boundary");
+    request.on_service_complete = [this](CpuCore &) {
+        ++signals_delivered_;
+    };
+    if (faultInjector() != nullptr)
+        request.on_abort = [this] { ++signals_aborted_; };
+}
+
+EventQueue::Callback
+SignalQueue::rebuildEvent(const snap::Tag &tag)
+{
+    const snap::Token &t = tag.self;
+    if (t.is("sig.resend")) {
+        if (t.a != 0)
+            throw snap::SnapshotError(
+                "pending signal re-send carries a live delivery "
+                "callback; signals with callbacks cannot cross a "
+                "snapshot boundary");
+        return [this] {
+            ++signals_resent_;
+            sendSignal(nullptr);
+        };
+    }
+    if (t.is("sig.irqwd")) {
+        return [this] {
+            if (irq_inflight_) {
+                irq_inflight_ = false;
+                ++irq_recoveries_;
+                considerRaise();
+            }
+        };
+    }
+    if (t.is("sig.irqdup")) {
+        return [this] {
+            kernel_.deliverIrq(pickTarget(), driver_->makeInterrupt());
+        };
+    }
+    if (t.is("sig.irq")) {
+        const int target = static_cast<int>(t.a);
+        return [this, target] {
+            kernel_.deliverIrq(target, driver_->makeInterrupt());
+        };
+    }
+    throw snap::SnapshotError(
+        std::string("unknown signal-queue event tag '")
+        + (t.kind != nullptr ? t.kind : "") + "'");
+}
+
+void
+SignalQueue::snapSave(snap::Writer &w) const
+{
+    w.section("sigq");
+    w.u64(queue_.size());
+    for (const SsrRequest &request : queue_)
+        snapSaveRequest(w, request);
+    w.b(irq_inflight_);
+    w.u64(static_cast<std::uint64_t>(rr_next_core_));
+    w.u64(next_id_);
+    w.u64(signals_sent_);
+    w.u64(signals_delivered_);
+    w.u64(signals_resent_);
+    w.u64(signals_aborted_);
+    w.u64(irq_recoveries_);
+}
+
+void
+SignalQueue::snapRestore(snap::Reader &r)
+{
+    r.section("sigq");
+    queue_.clear();
+    const std::uint64_t queued = r.u64();
+    for (std::uint64_t i = 0; i < queued; ++i) {
+        queue_.push_back(snapRestoreRequest(
+            r, [this](SsrRequest &request) {
+                rebuildRequestCallbacks(request);
+            }));
+    }
+    irq_inflight_ = r.b();
+    rr_next_core_ = static_cast<int>(r.u64());
+    next_id_ = r.u64();
+    signals_sent_ = r.u64();
+    signals_delivered_ = r.u64();
+    signals_resent_ = r.u64();
+    signals_aborted_ = r.u64();
+    irq_recoveries_ = r.u64();
+}
+
+std::uint64_t
+SignalQueue::stateHash() const
+{
+    snap::Hash64 h;
+    h.mix(queue_.size());
+    for (const SsrRequest &request : queue_) {
+        h.mix(request.id);
+        h.mix(request.issued_at);
+    }
+    h.mix(irq_inflight_ ? 1 : 0);
+    h.mix(static_cast<std::uint64_t>(rr_next_core_));
+    h.mix(next_id_);
+    h.mix(signals_sent_);
+    h.mix(signals_delivered_);
+    h.mix(signals_resent_);
+    h.mix(signals_aborted_);
+    h.mix(irq_recoveries_);
+    return h.value();
 }
 
 } // namespace hiss

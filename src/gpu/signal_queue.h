@@ -17,6 +17,7 @@
 #include "os/kernel.h"
 #include "os/ssr_driver.h"
 #include "sim/sim_object.h"
+#include "snap/snap.h"
 
 namespace hiss {
 
@@ -42,8 +43,14 @@ class SignalQueue : public SimObject, public RequestSource
     /**
      * Issue one signal SSR (S_SENDMSG). @p on_delivered fires on the
      * servicing core once the OS has delivered the signal.
+     *
+     * @p cb_token optionally names the producer of @p on_delivered
+     * for snapshot identity. Signals with a live callback but no
+     * token cannot cross a snapshot boundary (restore refuses with a
+     * clear error); callback-free signals always can.
      */
-    void sendSignal(std::function<void(CpuCore &)> on_delivered);
+    void sendSignal(std::function<void(CpuCore &)> on_delivered,
+                    snap::Token cb_token = {});
 
     /// @name RequestSource interface.
     /// @{
@@ -63,6 +70,19 @@ class SignalQueue : public SimObject, public RequestSource
 
     /** Signals written but not yet drained (invariant audit). */
     std::size_t queueDepth() const { return queue_.size(); }
+
+    /// @name Snapshot support.
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    /** Re-attach delivery bookkeeping to a restored signal request.
+     *  Throws if the live request carried a caller callback (those
+     *  cannot be rebuilt; see sendSignal). */
+    void rebuildRequestCallbacks(SsrRequest &request);
+    /** Rebuild the callback of any sig.* event tag. */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag);
+    std::uint64_t stateHash() const;
+    /// @}
 
   private:
     void considerRaise();

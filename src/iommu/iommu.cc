@@ -154,7 +154,7 @@ Iommu::insertIotlb(Vpn vpn)
 
 void
 Iommu::finishWalk(Vpn vpn, TranslateCallback on_complete,
-                  bool allow_fault, Pasid pasid)
+                  bool allow_fault, Pasid pasid, snap::Token cb_token)
 {
     PageTable &table = spaces_.table(pasid);
     Pfn pfn;
@@ -171,12 +171,12 @@ Iommu::finishWalk(Vpn vpn, TranslateCallback on_complete,
         on_complete(TranslateResult::Ok);
         return;
     }
-    queuePpr(pasid, vpn, std::move(on_complete));
+    queuePpr(pasid, vpn, std::move(on_complete), cb_token);
 }
 
 void
 Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
-                 Pasid pasid)
+                 Pasid pasid, snap::Token cb_token)
 {
     // Note: the IOTLB is tagged by VPN only; accelerators use
     // disjoint VPN namespaces, so entries cannot alias in practice.
@@ -186,15 +186,17 @@ Iommu::translate(Vpn vpn, TranslateCallback on_complete, bool allow_fault,
                       [cb = std::move(on_complete)] {
                           cb(TranslateResult::Ok);
                       },
-                      EventPriority::Device);
+                      EventPriority::Device,
+                      {{"iommu.hit", vpn}, cb_token});
         return;
     }
     ++iotlb_misses_;
     scheduleAfter(params_.walk_latency,
                   [this, vpn, cb = std::move(on_complete), allow_fault,
-                   pasid]() mutable {
-        finishWalk(vpn, std::move(cb), allow_fault, pasid);
-    }, EventPriority::Device);
+                   pasid, cb_token]() mutable {
+        finishWalk(vpn, std::move(cb), allow_fault, pasid, cb_token);
+    }, EventPriority::Device,
+    {{"iommu.walk", vpn, pasid, allow_fault ? 1u : 0u}, cb_token});
 }
 
 void
@@ -208,13 +210,11 @@ Iommu::translateBatch(std::vector<TranslateRequest> requests,
     // +walk_latency or later), so the outcomes — and the hit/miss
     // stats — are byte-identical to issuing scalar translate() calls
     // in order at this tick.
-    struct Op
-    {
-        bool hit = false;
-        TranslateRequest req;
-    };
-    auto ops = std::make_shared<std::vector<Op>>();
-    ops->reserve(requests.size());
+    const std::uint64_t id = next_batch_id_++;
+    Batch &batch = batches_[id];
+    batch.allow_fault = allow_fault;
+    batch.pasid = pasid;
+    batch.ops.reserve(requests.size());
     bool any_hit = false;
     bool any_walk = false;
     for (TranslateRequest &req : requests) {
@@ -226,61 +226,62 @@ Iommu::translateBatch(std::vector<TranslateRequest> requests,
             ++iotlb_misses_;
             any_walk = true;
         }
-        ops->push_back({hit, std::move(req)});
+        batch.ops.push_back(
+            {hit, req.vpn, req.token, std::move(req.on_complete)});
     }
     // One fused event per latency class replays the per-request
     // bodies in issue order — under the event queue's same-(tick,
     // priority) FIFO guarantee this is observably identical to the
     // per-request events scalar translate() would have scheduled.
+    // The pending ops live in the batches_ ledger keyed by id, so
+    // each event carries only (id, select) — snapshottable POD —
+    // instead of a closure owning the op vector.
     // select: 0 = hits only, 1 = walks only, 2 = both in issue order
     // (the equal-latency case, where scalar events would interleave).
-    auto runOps = [this, ops, allow_fault, pasid](int select) {
-        for (Op &op : *ops) {
-            if (select == 0 && !op.hit)
-                continue;
-            if (select == 1 && op.hit)
-                continue;
-            if (op.hit)
-                op.req.on_complete(TranslateResult::Ok);
-            else
-                finishWalk(op.req.vpn, std::move(op.req.on_complete),
-                           allow_fault, pasid);
-        }
-    };
     if (params_.iotlb_hit_latency == params_.walk_latency) {
-        scheduleAfter(params_.walk_latency, [runOps] { runOps(2); },
-                      EventPriority::Device);
+        batch.events_left = 1;
+        scheduleAfter(params_.walk_latency,
+                      [this, id] { runBatchOps(id, 2); },
+                      EventPriority::Device, {{"iommu.batch", id, 2}, {}});
         return;
     }
+    batch.events_left = (any_hit ? 1 : 0) + (any_walk ? 1 : 0);
     if (any_hit)
-        scheduleAfter(params_.iotlb_hit_latency, [runOps] { runOps(0); },
-                      EventPriority::Device);
+        scheduleAfter(params_.iotlb_hit_latency,
+                      [this, id] { runBatchOps(id, 0); },
+                      EventPriority::Device, {{"iommu.batch", id, 0}, {}});
     if (any_walk)
-        scheduleAfter(params_.walk_latency, [runOps] { runOps(1); },
-                      EventPriority::Device);
+        scheduleAfter(params_.walk_latency,
+                      [this, id] { runBatchOps(id, 1); },
+                      EventPriority::Device, {{"iommu.batch", id, 1}, {}});
 }
 
 void
-Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
+Iommu::runBatchOps(std::uint64_t id, int select)
 {
-    FaultInjector *faults = faultInjector();
-    if (faults != nullptr && faults->pprOverflow(ppr_queue_.size())) {
-        // amd_iommu_v2 PPR-log overflow: the request never enters
-        // the queue; the hardware auto-responds INVALID and the
-        // device must retry (or give up).
-        ++pprs_rejected_;
-        on_complete(TranslateResult::Rejected);
-        return;
+    Batch &batch = batches_.at(id);
+    for (BatchOp &op : batch.ops) {
+        if (select == 0 && !op.hit)
+            continue;
+        if (select == 1 && op.hit)
+            continue;
+        if (op.hit)
+            op.on_complete(TranslateResult::Ok);
+        else
+            finishWalk(op.vpn, std::move(op.on_complete),
+                       batch.allow_fault, batch.pasid, op.token);
     }
-    ++pprs_issued_;
-    SsrRequest request;
-    request.id = next_request_id_++;
-    request.kind = ServiceKind::PageFault;
-    request.pasid = pasid;
-    request.vpn = vpn;
-    request.issued_at = now();
-    const Tick issued = now();
-    if (faults != nullptr) {
+    if (--batch.events_left == 0)
+        batches_.erase(id);
+}
+
+void
+Iommu::attachPprCallbacks(SsrRequest &request,
+                          TranslateCallback on_complete)
+{
+    const Vpn vpn = request.vpn;
+    const Tick issued = request.issued_at;
+    if (faultInjector() != nullptr) {
         // Recovery-capable shape: completion and the driver-watchdog
         // abort share the callback through one owner.
         auto shared_cb = std::make_shared<TranslateCallback>(
@@ -307,6 +308,37 @@ Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete)
                 cb(TranslateResult::Ok);
             };
     }
+}
+
+void
+Iommu::rebuildRequestCallbacks(SsrRequest &request,
+                               const CallbackResolver &resolver)
+{
+    attachPprCallbacks(request, resolver(request.origin.arg));
+}
+
+void
+Iommu::queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete,
+                snap::Token cb_token)
+{
+    FaultInjector *faults = faultInjector();
+    if (faults != nullptr && faults->pprOverflow(ppr_queue_.size())) {
+        // amd_iommu_v2 PPR-log overflow: the request never enters
+        // the queue; the hardware auto-responds INVALID and the
+        // device must retry (or give up).
+        ++pprs_rejected_;
+        on_complete(TranslateResult::Rejected);
+        return;
+    }
+    ++pprs_issued_;
+    SsrRequest request;
+    request.id = next_request_id_++;
+    request.kind = ServiceKind::PageFault;
+    request.pasid = pasid;
+    request.vpn = vpn;
+    request.issued_at = now();
+    request.origin = {{"iommu.ppr", vpn, pasid}, cb_token};
+    attachPprCallbacks(request, std::move(on_complete));
     // Track the PPR inter-arrival EMA for adaptive coalescing.
     const Tick gap = std::min<Tick>(now() - last_ppr_at_, msToTicks(1));
     last_ppr_at_ = now();
@@ -355,7 +387,7 @@ Iommu::considerRaiseMsi()
             coalesce_event_ = kInvalidEventId;
             if (!ppr_queue_.empty() && !msi_inflight_)
                 raiseMsi();
-        }, EventPriority::Device);
+        }, EventPriority::Device, {{"iommu.coalesce"}, {}});
     }
 }
 
@@ -379,7 +411,7 @@ Iommu::raiseMsi()
                     ++msi_recoveries_;
                     considerRaiseMsi();
                 }
-            }, EventPriority::Device);
+            }, EventPriority::Device, {{"iommu.msiwd"}, {}});
             return;
         }
         latency += fate.extra_delay;
@@ -390,13 +422,14 @@ Iommu::raiseMsi()
             scheduleAfter(latency + params_.msi_latency, [this] {
                 kernel_.deliverIrq(pickTargetCore(),
                                    driver_->makeInterrupt());
-            }, EventPriority::Device);
+            }, EventPriority::Device, {{"iommu.msidup"}, {}});
         }
     }
     const int target = pickTargetCore();
     scheduleAfter(latency, [this, target] {
         kernel_.deliverIrq(target, driver_->makeInterrupt());
-    }, EventPriority::Device);
+    }, EventPriority::Device,
+    {{"iommu.msi", static_cast<std::uint64_t>(target)}, {}});
 }
 
 int
@@ -444,6 +477,207 @@ Iommu::ack()
     // PPRs that arrived while the interrupt was being handled need a
     // fresh MSI.
     considerRaiseMsi();
+}
+
+EventQueue::Callback
+Iommu::rebuildEvent(const snap::Tag &tag, const CallbackResolver &resolver)
+{
+    const snap::Token &t = tag.self;
+    if (t.is("iommu.hit")) {
+        return [cb = resolver(tag.arg)] { cb(TranslateResult::Ok); };
+    }
+    if (t.is("iommu.walk")) {
+        const Vpn vpn = t.a;
+        const auto pasid = static_cast<Pasid>(t.b);
+        const bool allow_fault = t.c != 0;
+        const snap::Token cb_token = tag.arg;
+        return [this, vpn, pasid, allow_fault, cb_token,
+                cb = resolver(tag.arg)]() mutable {
+            finishWalk(vpn, std::move(cb), allow_fault, pasid, cb_token);
+        };
+    }
+    if (t.is("iommu.batch")) {
+        const std::uint64_t id = t.a;
+        const int select = static_cast<int>(t.b);
+        return [this, id, select] { runBatchOps(id, select); };
+    }
+    if (t.is("iommu.coalesce")) {
+        return [this] {
+            coalesce_event_ = kInvalidEventId;
+            if (!ppr_queue_.empty() && !msi_inflight_)
+                raiseMsi();
+        };
+    }
+    if (t.is("iommu.msiwd")) {
+        return [this] {
+            if (msi_inflight_) {
+                msi_inflight_ = false;
+                ++msi_recoveries_;
+                considerRaiseMsi();
+            }
+        };
+    }
+    if (t.is("iommu.msidup")) {
+        return [this] {
+            kernel_.deliverIrq(pickTargetCore(),
+                               driver_->makeInterrupt());
+        };
+    }
+    if (t.is("iommu.msi")) {
+        const int target = static_cast<int>(t.a);
+        return [this, target] {
+            kernel_.deliverIrq(target, driver_->makeInterrupt());
+        };
+    }
+    throw snap::SnapshotError(
+        std::string("unknown iommu event tag '")
+        + (t.kind != nullptr ? t.kind : "") + "'");
+}
+
+void
+Iommu::snapSave(snap::Writer &w) const
+{
+    w.section("iommu");
+    // The probe table layout depends on insertion order, so the
+    // IOTLB arrays are written verbatim rather than re-inserted.
+    w.u64(iotlb_slots_.size());
+    for (const Vpn v : iotlb_slots_)
+        w.u64(v);
+    w.u64(iotlb_ring_.size());
+    for (const Vpn v : iotlb_ring_)
+        w.u64(v);
+    w.u32(iotlb_head_);
+    w.u32(iotlb_size_);
+    w.u64(ppr_queue_.size());
+    for (const SsrRequest &request : ppr_queue_)
+        snapSaveRequest(w, request);
+    w.u64(last_ppr_at_);
+    w.u64(ppr_gap_ema_);
+    w.b(msi_inflight_);
+    w.u64(coalesce_event_);
+    w.u64(static_cast<std::uint64_t>(rr_next_core_));
+    w.u64(next_request_id_);
+    w.u64(batches_.size());
+    for (const auto &[id, batch] : batches_) {
+        w.u64(id);
+        w.u32(static_cast<std::uint32_t>(batch.events_left));
+        w.b(batch.allow_fault);
+        w.u32(batch.pasid);
+        w.u64(batch.ops.size());
+        for (const BatchOp &op : batch.ops) {
+            w.b(op.hit);
+            w.u64(op.vpn);
+            w.token(op.token);
+        }
+    }
+    w.u64(next_batch_id_);
+    w.u64(pprs_issued_);
+    w.u64(msis_raised_);
+    w.u64(iotlb_hits_);
+    w.u64(iotlb_misses_);
+    w.u64(faults_resolved_);
+    w.u64(pprs_rejected_);
+    w.u64(faults_aborted_);
+    w.u64(msi_recoveries_);
+}
+
+void
+Iommu::snapRestore(snap::Reader &r, const CallbackResolver &resolver)
+{
+    r.section("iommu");
+    if (r.u64() != iotlb_slots_.size())
+        throw snap::SnapshotError("IOTLB probe-table size mismatch");
+    for (Vpn &v : iotlb_slots_)
+        v = r.u64();
+    if (r.u64() != iotlb_ring_.size())
+        throw snap::SnapshotError("IOTLB capacity mismatch");
+    for (Vpn &v : iotlb_ring_)
+        v = r.u64();
+    iotlb_head_ = r.u32();
+    iotlb_size_ = r.u32();
+    ppr_queue_.clear();
+    const std::uint64_t queued = r.u64();
+    for (std::uint64_t i = 0; i < queued; ++i) {
+        ppr_queue_.push_back(snapRestoreRequest(
+            r, [this, &resolver](SsrRequest &request) {
+                rebuildRequestCallbacks(request, resolver);
+            }));
+    }
+    last_ppr_at_ = r.u64();
+    ppr_gap_ema_ = r.u64();
+    msi_inflight_ = r.b();
+    coalesce_event_ = r.u64();
+    rr_next_core_ = static_cast<int>(r.u64());
+    next_request_id_ = r.u64();
+    batches_.clear();
+    const std::uint64_t nbatches = r.u64();
+    for (std::uint64_t i = 0; i < nbatches; ++i) {
+        const std::uint64_t id = r.u64();
+        Batch &batch = batches_[id];
+        batch.events_left = static_cast<int>(r.u32());
+        batch.allow_fault = r.b();
+        batch.pasid = r.u32();
+        batch.ops.resize(r.u64());
+        for (BatchOp &op : batch.ops) {
+            op.hit = r.b();
+            op.vpn = r.u64();
+            op.token = r.token();
+            op.on_complete = resolver(op.token);
+        }
+    }
+    next_batch_id_ = r.u64();
+    pprs_issued_ = r.u64();
+    msis_raised_ = r.u64();
+    iotlb_hits_ = r.u64();
+    iotlb_misses_ = r.u64();
+    faults_resolved_ = r.u64();
+    pprs_rejected_ = r.u64();
+    faults_aborted_ = r.u64();
+    msi_recoveries_ = r.u64();
+}
+
+std::uint64_t
+Iommu::stateHash() const
+{
+    snap::Hash64 h;
+    for (const Vpn v : iotlb_slots_)
+        h.mix(v);
+    for (const Vpn v : iotlb_ring_)
+        h.mix(v);
+    h.mix(iotlb_head_);
+    h.mix(iotlb_size_);
+    h.mix(ppr_queue_.size());
+    for (const SsrRequest &request : ppr_queue_) {
+        h.mix(request.id);
+        h.mix(request.vpn);
+        h.mix(request.issued_at);
+    }
+    h.mix(last_ppr_at_);
+    h.mix(ppr_gap_ema_);
+    h.mix(msi_inflight_ ? 1 : 0);
+    h.mix(coalesce_event_);
+    h.mix(static_cast<std::uint64_t>(rr_next_core_));
+    h.mix(next_request_id_);
+    h.mix(batches_.size());
+    for (const auto &[id, batch] : batches_) {
+        h.mix(id);
+        h.mix(static_cast<std::uint64_t>(batch.events_left));
+        h.mix(batch.ops.size());
+        for (const BatchOp &op : batch.ops) {
+            h.mix(op.hit ? 1 : 0);
+            h.mix(op.vpn);
+        }
+    }
+    h.mix(next_batch_id_);
+    h.mix(pprs_issued_);
+    h.mix(msis_raised_);
+    h.mix(iotlb_hits_);
+    h.mix(iotlb_misses_);
+    h.mix(faults_resolved_);
+    h.mix(pprs_rejected_);
+    h.mix(faults_aborted_);
+    h.mix(msi_recoveries_);
+    return h.value();
 }
 
 } // namespace hiss

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "mem/address_space_dir.h"
@@ -27,6 +28,7 @@
 #include "os/kernel.h"
 #include "os/ssr_driver.h"
 #include "sim/sim_object.h"
+#include "snap/snap.h"
 
 namespace hiss {
 
@@ -84,6 +86,14 @@ class Iommu : public SimObject, public RequestSource
     /** Invoked when a translation finally resolves (or fails). */
     using TranslateCallback = std::function<void(TranslateResult)>;
 
+    /**
+     * Rebuilds a device-side translate callback from the producer
+     * token it was issued with (snapshot restore; System supplies
+     * one that routes "gpu.xlate" tokens to the owning Gpu).
+     */
+    using CallbackResolver =
+        std::function<TranslateCallback(const snap::Token &)>;
+
     Iommu(SimContext &ctx, Kernel &kernel, const IommuParams &params);
 
     const IommuParams &params() const { return params_; }
@@ -98,15 +108,23 @@ class Iommu : public SimObject, public RequestSource
      * false an unmapped page is treated as pinned-at-first-use: it
      * is mapped instantly with no host involvement (models the
      * traditional pinned-memory baseline, i.e. "no SSRs").
+     *
+     * @p cb_token names the producer of @p on_complete so a pending
+     * translation can be re-materialized from a snapshot; callers
+     * that never snapshot may omit it (the save then refuses with a
+     * clear error while such a translation is in flight).
      */
     void translate(Vpn vpn, TranslateCallback on_complete,
-                   bool allow_fault = true, Pasid pasid = 0);
+                   bool allow_fault = true, Pasid pasid = 0,
+                   snap::Token cb_token = {});
 
     /** One translation of a batch handed to translateBatch(). */
     struct TranslateRequest
     {
         Vpn vpn = 0;
         TranslateCallback on_complete;
+        /** Producer token of on_complete (snapshot identity). */
+        snap::Token token;
     };
 
     /**
@@ -149,14 +167,52 @@ class Iommu : public SimObject, public RequestSource
     /** Current depth of the unsent-PPR queue (tests). */
     std::size_t pprQueueDepth() const { return ppr_queue_.size(); }
 
+    /// @name Snapshot support.
+    /// @{
+    /** Serialize the IOTLB (verbatim layout), unsent PPR queue,
+     *  coalescing/MSI state, in-flight batch ledger, and counters. */
+    void snapSave(snap::Writer &w) const;
+    /** Mirror of snapSave; @p resolver rebuilds device callbacks. */
+    void snapRestore(snap::Reader &r, const CallbackResolver &resolver);
+    /** Re-attach this IOMMU's service callbacks to a restored PPR. */
+    void rebuildRequestCallbacks(SsrRequest &request,
+                                 const CallbackResolver &resolver);
+    /** Rebuild the callback of any iommu.* event tag. */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag,
+                                      const CallbackResolver &resolver);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
+    /** One classified element of an in-flight translate batch. */
+    struct BatchOp
+    {
+        bool hit = false;
+        Vpn vpn = 0;
+        snap::Token token;
+        TranslateCallback on_complete;
+    };
+
+    /** A translateBatch() call whose fused events are still pending. */
+    struct Batch
+    {
+        std::vector<BatchOp> ops;
+        int events_left = 0;
+        bool allow_fault = true;
+        Pasid pasid = 0;
+    };
+
     std::uint32_t iotlbSlot(Vpn vpn) const;
     void insertIotlb(Vpn vpn);
     void eraseIotlb(Vpn vpn);
     bool iotlbContains(Vpn vpn) const;
     void finishWalk(Vpn vpn, TranslateCallback on_complete,
-                    bool allow_fault, Pasid pasid);
-    void queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete);
+                    bool allow_fault, Pasid pasid, snap::Token cb_token);
+    void queuePpr(Pasid pasid, Vpn vpn, TranslateCallback on_complete,
+                  snap::Token cb_token);
+    void attachPprCallbacks(SsrRequest &request,
+                            TranslateCallback on_complete);
+    void runBatchOps(std::uint64_t id, int select);
     Tick effectiveWindow() const;
     void considerRaiseMsi();
     void raiseMsi();
@@ -187,6 +243,12 @@ class Iommu : public SimObject, public RequestSource
     EventId coalesce_event_ = kInvalidEventId;
     int rr_next_core_ = 0;
     std::uint64_t next_request_id_ = 1;
+
+    /** In-flight fused batches, keyed by id so the pending events
+     *  carry only POD state (snapshottable) instead of a closure
+     *  owning the op vector. */
+    std::map<std::uint64_t, Batch> batches_;
+    std::uint64_t next_batch_id_ = 1;
 
     std::uint64_t pprs_issued_ = 0;
     std::uint64_t msis_raised_ = 0;

@@ -89,6 +89,8 @@ class AddressStream
     Addr base() const { return base_; }
 
   private:
+    friend struct snap::Access;
+
     MemoryProfile profile_;
     Addr base_;
     Rng rng_;
@@ -128,6 +130,8 @@ class BranchStream
     const BranchProfile &profile() const { return profile_; }
 
   private:
+    friend struct snap::Access;
+
     BranchProfile profile_;
     Addr pc_base_;
     Rng rng_;

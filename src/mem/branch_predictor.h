@@ -24,6 +24,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /**
  * A single dynamic branch: site PC and actual direction. Produced by
  * BranchStream (which aliases it as BranchStream::Outcome) and
@@ -98,6 +102,9 @@ class BranchPredictor
     std::uint64_t stateHash() const;
 
   private:
+    /** Snapshot layer serializes history_/table_/counters. */
+    friend struct snap::Access;
+
     template <bool Record>
     std::uint64_t predictRun(const BranchOutcome *outcomes,
                              std::size_t n, std::uint8_t *correct_out);

@@ -24,6 +24,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /** Physical or virtual byte address (the model does not care which). */
 using Addr = std::uint64_t;
 
@@ -123,6 +127,9 @@ class Cache
     /// @}
 
   private:
+    /** Snapshot layer serializes tags_/lru_/clock/counters. */
+    friend struct snap::Access;
+
     template <bool Record>
     std::uint64_t accessRun(const Addr *addrs, std::size_t n,
                             std::uint8_t *hits_out);

@@ -17,6 +17,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /** A bump-plus-freelist physical frame allocator. */
 class FrameAllocator
 {
@@ -44,6 +48,8 @@ class FrameAllocator
     }
 
   private:
+    friend struct snap::Access;
+
     std::uint64_t total_;
     std::uint64_t next_ = 0;       // Bump pointer.
     std::uint64_t allocated_ = 0;

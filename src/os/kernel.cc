@@ -1,6 +1,7 @@
 #include "os/kernel.h"
 
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 
@@ -110,6 +111,7 @@ Kernel::attachSsrSource(const std::string &name, RequestSource &source,
         ctx(), name, driver_params, source, *services_, *work_queue_,
         *scheduler_));
     SsrDriver &driver = *drivers_.back();
+    driver.setSnapIndex(drivers_.size() - 1);
     if (!driver_params.monolithic_bottom_half) {
         // The bottom half is a workqueue item in amd_iommu_v2, i.e.
         // a normal-priority kworker whose wakeup contends with user
@@ -145,16 +147,30 @@ void
 Kernel::startHousekeepingTimer(int core_index, Tick first_fire)
 {
     scheduleAfter(first_fire, [this, core_index] {
-        Irq timer;
-        timer.label = "timer";
-        timer.ssr_related = false;
-        timer.footprint_accesses = 96;
-        timer.footprint_branches = 800;
-        const Tick cost = params_.housekeeping_cost;
-        timer.on_start = [cost](CpuCore &) { return cost; };
-        deliverIrq(core_index, std::move(timer));
-        startHousekeepingTimer(core_index, params_.housekeeping_period);
-    }, EventPriority::Device);
+        fireHousekeeping(core_index);
+    }, EventPriority::Device,
+    {{"kernel.hk", static_cast<std::uint64_t>(core_index)}, {}});
+}
+
+void
+Kernel::fireHousekeeping(int core_index)
+{
+    deliverIrq(core_index, makeHousekeepingIrq());
+    startHousekeepingTimer(core_index, params_.housekeeping_period);
+}
+
+Irq
+Kernel::makeHousekeepingIrq()
+{
+    Irq timer;
+    timer.label = "timer";
+    timer.token = {"irq.timer"};
+    timer.ssr_related = false;
+    timer.footprint_accesses = 96;
+    timer.footprint_branches = 800;
+    const Tick cost = params_.housekeeping_cost;
+    timer.on_start = [cost](CpuCore &) { return cost; };
+    return timer;
 }
 
 Tick
@@ -171,6 +187,180 @@ Kernel::finalizeStats()
 {
     for (const auto &core : cores_)
         core->finalizeStats();
+}
+
+Thread *
+Kernel::threadById(int id) const
+{
+    for (const auto &thread : threads_)
+        if (thread->id() == id)
+            return thread.get();
+    return nullptr;
+}
+
+Irq
+Kernel::rebuildIrq(const snap::Token &token)
+{
+    if (token.is("irq.timer"))
+        return makeHousekeepingIrq();
+    if (token.is("irq.resched"))
+        return scheduler_->makeReschedIrq(static_cast<int>(token.a));
+    if (token.is("irq.drv"))
+        return drivers_.at(token.a)->makeInterrupt();
+    throw snap::SnapshotError(
+        std::string("unknown irq token '")
+        + (token.kind != nullptr ? token.kind : "") + "'");
+}
+
+EventQueue::Callback
+Kernel::rebuildEvent(const snap::Tag &tag)
+{
+    const snap::Token &t = tag.self;
+    if (t.is("kernel.hk")) {
+        const int core_index = static_cast<int>(t.a);
+        return [this, core_index] { fireHousekeeping(core_index); };
+    }
+    if (t.is("sched.preempt") || t.is("sched.ipi")
+        || t.is("sched.sleep")) {
+        return scheduler_->rebuildEvent(
+            tag, [this](int id) { return threadById(id); });
+    }
+    if (t.is("drv.wd"))
+        return drivers_.at(t.a)->rebuildEvent(tag);
+    if (t.is("core.grace") || t.is("core.burst") || t.is("core.irq")
+        || t.is("core.wake")) {
+        return core(static_cast<int>(t.a)).rebuildEvent(tag);
+    }
+    throw snap::SnapshotError(
+        std::string("unknown kernel event tag '")
+        + (t.kind != nullptr ? t.kind : "") + "'");
+}
+
+void
+Kernel::snapSave(snap::Writer &w) const
+{
+    w.section("kernel");
+    snap::Access::save(w, rng());
+    w.i64(next_thread_id_);
+    w.u64(threads_.size());
+    for (const auto &thread : threads_) {
+        w.i64(thread->id());
+        snap::Access::save(w, *thread);
+    }
+    snap::Access::save(w, proc_stats_);
+    snap::Access::save(w, frames_);
+    snap::Access::save(w, spaces_);
+    scheduler_->snapSave(w);
+    services_->snapSave(w);
+    work_queue_->snapSave(w);
+    w.b(qos_governor_ != nullptr);
+    if (qos_governor_ != nullptr)
+        qos_governor_->snapSave(w);
+    w.u64(worker_models_.size());
+    for (const auto &worker : worker_models_)
+        worker->snapSave(w);
+    w.u64(drivers_.size());
+    for (const auto &driver : drivers_)
+        driver->snapSave(w);
+    for (const auto &core : cores_)
+        core->snapSave(w);
+}
+
+void
+Kernel::snapRestore(snap::Reader &r, const RequestRebuild &rebuild)
+{
+    r.section("kernel");
+    snap::Access::restore(r, rng());
+    next_thread_id_ = static_cast<int>(r.i64());
+    if (r.u64() != threads_.size())
+        throw snap::SnapshotError(
+            "thread count mismatch (different workload config?)");
+    for (const auto &thread : threads_) {
+        if (static_cast<int>(r.i64()) != thread->id())
+            throw snap::SnapshotError("thread id order mismatch");
+        snap::Access::restore(r, *thread);
+    }
+    snap::Access::restore(r, proc_stats_);
+    snap::Access::restore(r, frames_);
+    snap::Access::restore(r, spaces_);
+    scheduler_->snapRestore(r,
+                            [this](int id) { return threadById(id); });
+    services_->snapRestore(r);
+
+    // Rebuilds an in-flight WorkItem: reconstruct the originating
+    // request, let the device resolver fill its callbacks, re-apply
+    // the driver's completion wrapper if it had one, and rebuild the
+    // item without drawing from the services RNG.
+    const WorkItemRebuild item_rebuild =
+        [this, &rebuild](const WorkItemSnap &s, Tick duration,
+                         Tick service_start_at, Tick enqueued_at) {
+            SsrRequest request;
+            request.id = s.id;
+            request.kind = static_cast<ServiceKind>(s.kind);
+            request.pasid = s.pasid;
+            request.vpn = s.vpn;
+            request.issued_at = s.issued_at;
+            request.drained_at = s.drained_at;
+            request.queued_at = s.queued_at;
+            request.origin = s.origin;
+            request.driver_wrapped = s.driver_wrapped;
+            request.driver_index = s.driver_index;
+            rebuild(request);
+            if (s.driver_wrapped)
+                drivers_.at(s.driver_index)->rewrapCompletion(request);
+            return services_->rebuildWorkItem(std::move(request),
+                                              duration,
+                                              service_start_at,
+                                              enqueued_at);
+        };
+
+    work_queue_->snapRestore(r, item_rebuild);
+    const bool had_qos = r.b();
+    if (had_qos != (qos_governor_ != nullptr))
+        throw snap::SnapshotError("QoS governor presence mismatch");
+    if (qos_governor_ != nullptr)
+        qos_governor_->snapRestore(r);
+    if (r.u64() != worker_models_.size())
+        throw snap::SnapshotError("worker model count mismatch");
+    for (const auto &worker : worker_models_)
+        worker->snapRestore(r, item_rebuild);
+    if (r.u64() != drivers_.size())
+        throw snap::SnapshotError("driver count mismatch");
+    for (const auto &driver : drivers_)
+        driver->snapRestore(r, rebuild);
+    for (const auto &core : cores_) {
+        core->snapRestore(
+            r, [this](const snap::Token &token) {
+                return rebuildIrq(token);
+            },
+            [this](int id) { return threadById(id); });
+    }
+}
+
+std::uint64_t
+Kernel::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(static_cast<std::uint64_t>(next_thread_id_));
+    h.mix(threads_.size());
+    for (const auto &thread : threads_) {
+        h.mix(static_cast<std::uint64_t>(thread->id()));
+        snap::Access::hash(h, *thread);
+    }
+    h.mix(frames_.allocatedFrames());
+    h.mix(scheduler_->stateHash());
+    h.mix(services_->stateHash());
+    h.mix(work_queue_->stateHash());
+    if (qos_governor_ != nullptr)
+        h.mix(qos_governor_->stateHash());
+    for (const auto &worker : worker_models_)
+        h.mix(worker->stateHash());
+    for (const auto &driver : drivers_)
+        h.mix(driver->stateHash());
+    for (const auto &core : cores_)
+        h.mix(core->stateHash());
+    return h.value();
 }
 
 } // namespace hiss

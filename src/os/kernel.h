@@ -138,8 +138,31 @@ class Kernel : public SimObject, public CoreListener
     /** Aggregate SSR CPU time across all cores. */
     Tick totalSsrTicks() const;
 
+    /// @name Snapshot support.
+    /// @{
+    /** Serialize the whole OS: kernel bookkeeping, threads, memory
+     *  management, scheduler, services, queues, drivers, then every
+     *  core (each in its own section). */
+    void snapSave(snap::Writer &w) const;
+    /**
+     * Mirror of snapSave against a same-config kernel.
+     * @param rebuild fills device-side callbacks of restored service
+     *        requests from their origin tags (System provides it).
+     */
+    void snapRestore(snap::Reader &r, const RequestRebuild &rebuild);
+    /** Rebuild the callback of any kernel./sched./drv./core. event. */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag);
+    /** Re-materialize an in-flight Irq from its producer token. */
+    Irq rebuildIrq(const snap::Token &token);
+    /** Lookup a kernel-owned thread by id (nullptr if unknown). */
+    Thread *threadById(int id) const;
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     void startHousekeepingTimer(int core_index, Tick first_fire);
+    void fireHousekeeping(int core_index);
+    Irq makeHousekeepingIrq();
 
     KernelParams params_;
     std::vector<std::unique_ptr<CpuCore>> cores_;

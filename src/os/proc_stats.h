@@ -18,6 +18,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /** Per-label, per-core interrupt delivery counts. */
 class ProcStats
 {
@@ -40,6 +44,8 @@ class ProcStats
     void dump(std::ostream &os) const;
 
   private:
+    friend struct snap::Access;
+
     std::size_t num_cores_;
     std::map<std::string, std::vector<std::uint64_t>> counts_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 
@@ -151,6 +152,70 @@ QosGovernor::onBurstDone(CpuCore &core, Tick ran,
         takeSample();
         sleeping_next_ = true;
     }
+}
+
+void
+QosGovernor::snapSave(snap::Writer &w) const
+{
+    snap::Access::save(w, rng());
+    w.u64(samples_.size());
+    for (const Sample &sample : samples_) {
+        w.u64(sample.when);
+        w.u64(sample.ssr_ticks);
+    }
+    w.b(over_threshold_);
+    w.f64(fraction_);
+    w.b(sleeping_next_);
+    w.i64(bucket_);
+    w.i64(bucket_cap_);
+    w.u64(last_bucket_update_);
+    w.u64(last_ssr_ticks_);
+    w.u64(delays_applied_);
+    w.u64(total_delay_);
+}
+
+void
+QosGovernor::snapRestore(snap::Reader &r)
+{
+    snap::Access::restore(r, rng());
+    samples_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Sample sample;
+        sample.when = r.u64();
+        sample.ssr_ticks = r.u64();
+        samples_.push_back(sample);
+    }
+    over_threshold_ = r.b();
+    fraction_ = r.f64();
+    sleeping_next_ = r.b();
+    bucket_ = r.i64();
+    bucket_cap_ = r.i64();
+    last_bucket_update_ = r.u64();
+    last_ssr_ticks_ = r.u64();
+    delays_applied_ = r.u64();
+    total_delay_ = r.u64();
+}
+
+std::uint64_t
+QosGovernor::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(samples_.size());
+    for (const Sample &sample : samples_) {
+        h.mix(sample.when);
+        h.mix(sample.ssr_ticks);
+    }
+    h.mix(over_threshold_ ? 1 : 0);
+    h.mixDouble(fraction_);
+    h.mix(sleeping_next_ ? 1 : 0);
+    h.mix(static_cast<std::uint64_t>(bucket_));
+    h.mix(last_bucket_update_);
+    h.mix(last_ssr_ticks_);
+    h.mix(delays_applied_);
+    h.mix(total_delay_);
+    return h.value();
 }
 
 } // namespace hiss

@@ -154,6 +154,13 @@ class QosGovernor : public SimObject, public ExecutionModel
                      bool completed) override;
     /// @}
 
+    /// @name Snapshot support (rolling window + bucket + counters).
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     void takeSample();
     void updateBucket();

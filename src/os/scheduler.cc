@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 
@@ -87,18 +88,33 @@ Scheduler::maybePreempt(CpuCore &target, Thread *waker, CpuCore *from)
             sendReschedIpi(target);
         } else {
             const Tick delay = params_.wakeup_granularity - ran;
-            CpuCore *t = &target;
-            Thread *w = waker;
-            scheduleAfter(delay, [this, t, w] {
-                if (w->state() == ThreadState::Ready
-                    && t->currentThread() != nullptr
-                    && t->currentThread()->priority() >= w->priority()) {
-                    sendReschedIpi(*t);
-                }
-            }, EventPriority::Scheduler);
+            scheduleAfter(delay, makePreemptCheck(&target, waker),
+                          EventPriority::Scheduler,
+                          {{"sched.preempt",
+                            static_cast<std::uint64_t>(target.index()),
+                            static_cast<std::uint64_t>(waker->id())},
+                           {}});
         }
     }
     // Lower-urgency wakeups wait for a natural boundary or timeslice.
+}
+
+Irq
+Scheduler::makeReschedIrq(int core_index)
+{
+    const auto idx = static_cast<std::size_t>(core_index);
+    Irq ipi;
+    ipi.label = "resched";
+    ipi.token = {"irq.resched", static_cast<std::uint64_t>(core_index)};
+    ipi.is_ipi = true;
+    ipi.footprint_accesses = 16;
+    ipi.footprint_branches = 120;
+    const Tick cost = params_.resched_ipi_cost;
+    ipi.on_start = [cost](CpuCore &) { return cost; };
+    ipi.on_complete = [this, idx](CpuCore &) {
+        resched_pending_[idx] = false;
+    };
+    return ipi;
 }
 
 void
@@ -109,25 +125,17 @@ Scheduler::sendReschedIpi(CpuCore &target)
         return;
     resched_pending_[idx] = true;
     ++ipis_sent_;
-    Irq ipi;
-    ipi.label = "resched";
-    ipi.is_ipi = true;
-    ipi.footprint_accesses = 16;
-    ipi.footprint_branches = 120;
-    const Tick cost = params_.resched_ipi_cost;
-    ipi.on_start = [cost](CpuCore &) { return cost; };
-    ipi.on_complete = [this, idx](CpuCore &) {
-        resched_pending_[idx] = false;
-    };
+    Irq ipi = makeReschedIrq(target.index());
     if (FaultInjector *faults = faultInjector()) {
         const Tick delay = faults->ipiDelay();
         if (delay > 0) {
             // Injected interconnect delay: the IPI arrives late but
             // is never lost (resched_pending_ stays set meanwhile).
-            CpuCore *t = &target;
-            scheduleAfter(delay, [t, ipi = std::move(ipi)]() mutable {
-                t->postInterrupt(std::move(ipi));
-            }, EventPriority::Scheduler);
+            scheduleAfter(delay, makeIpiDelivery(&target),
+                          EventPriority::Scheduler,
+                          {{"sched.ipi",
+                            static_cast<std::uint64_t>(target.index())},
+                           {}});
             return;
         }
     }
@@ -138,10 +146,44 @@ void
 Scheduler::sleepThread(Thread *thread, Tick duration)
 {
     thread->setState(ThreadState::Sleeping);
-    scheduleAfter(duration, [this, thread] {
+    scheduleAfter(duration, makeSleepTimeout(thread),
+                  EventPriority::Scheduler,
+                  {{"sched.sleep",
+                    static_cast<std::uint64_t>(thread->id())},
+                   {}});
+}
+
+EventQueue::Callback
+Scheduler::makePreemptCheck(CpuCore *target, Thread *waker)
+{
+    return [this, target, waker] {
+        if (waker->state() == ThreadState::Ready
+            && target->currentThread() != nullptr
+            && target->currentThread()->priority() >= waker->priority()) {
+            sendReschedIpi(*target);
+        }
+    };
+}
+
+EventQueue::Callback
+Scheduler::makeSleepTimeout(Thread *thread)
+{
+    return [this, thread] {
         if (thread->state() == ThreadState::Sleeping)
             wake(thread, nullptr);
-    }, EventPriority::Scheduler);
+    };
+}
+
+EventQueue::Callback
+Scheduler::makeIpiDelivery(CpuCore *target)
+{
+    // The delayed-IPI event re-materializes the interrupt at delivery
+    // time instead of capturing it: the rebuilt Irq is identical (the
+    // factory is a pure function of the core index) and this keeps
+    // the event snapshottable.
+    return [this, target] {
+        target->postInterrupt(makeReschedIrq(target->index()));
+    };
 }
 
 void
@@ -284,6 +326,92 @@ Scheduler::popBest(int core_index)
     Thread *thread = *best;
     queue.erase(best);
     return thread;
+}
+
+void
+Scheduler::snapSave(snap::Writer &w) const
+{
+    snap::Access::save(w, rng());
+    w.u64(queues_.size());
+    for (const auto &queue : queues_) {
+        w.u64(queue.size());
+        for (const Thread *thread : queue)
+            w.i64(thread->id());
+    }
+    for (const bool pending : resched_pending_)
+        w.b(pending);
+    w.u64(ipis_sent_);
+    w.u64(migrations_);
+}
+
+void
+Scheduler::snapRestore(snap::Reader &r,
+                       const std::function<Thread *(int)> &threadById)
+{
+    snap::Access::restore(r, rng());
+    if (r.u64() != queues_.size())
+        throw snap::SnapshotError("scheduler core-count mismatch");
+    for (auto &queue : queues_) {
+        queue.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const int id = static_cast<int>(r.i64());
+            Thread *thread = threadById(id);
+            if (thread == nullptr)
+                throw snap::SnapshotError(
+                    "run queue names unknown thread id "
+                    + std::to_string(id));
+            queue.push_back(thread);
+        }
+    }
+    for (std::size_t i = 0; i < resched_pending_.size(); ++i)
+        resched_pending_[i] = r.b();
+    ipis_sent_ = r.u64();
+    migrations_ = r.u64();
+}
+
+EventQueue::Callback
+Scheduler::rebuildEvent(const snap::Tag &tag,
+                        const std::function<Thread *(int)> &threadById)
+{
+    const snap::Token &t = tag.self;
+    if (t.is("sched.preempt")) {
+        CpuCore *target = cores_.at(t.a);
+        Thread *waker = threadById(static_cast<int>(t.b));
+        if (waker == nullptr)
+            throw snap::SnapshotError(
+                "preempt check names unknown thread id "
+                + std::to_string(t.b));
+        return makePreemptCheck(target, waker);
+    }
+    if (t.is("sched.ipi"))
+        return makeIpiDelivery(cores_.at(t.a));
+    if (t.is("sched.sleep")) {
+        Thread *thread = threadById(static_cast<int>(t.a));
+        if (thread == nullptr)
+            throw snap::SnapshotError(
+                "sleep timeout names unknown thread id "
+                + std::to_string(t.a));
+        return makeSleepTimeout(thread);
+    }
+    throw snap::SnapshotError("unknown scheduler event tag");
+}
+
+std::uint64_t
+Scheduler::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    for (const auto &queue : queues_) {
+        h.mix(queue.size());
+        for (const Thread *thread : queue)
+            h.mix(static_cast<std::uint64_t>(thread->id()));
+    }
+    for (const bool pending : resched_pending_)
+        h.mix(pending ? 1 : 0);
+    h.mix(ipis_sent_);
+    h.mix(migrations_);
+    return h.value();
 }
 
 Thread *

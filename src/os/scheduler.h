@@ -90,7 +90,30 @@ class Scheduler : public SimObject
         return queues_[static_cast<std::size_t>(core)];
     }
 
+    /// @name Snapshot support.
+    /// @{
+    /**
+     * Build the resched IPI posted to @p core_index. Counter-neutral:
+     * sendReschedIpi (the live path) bumps ipis_sent_ and sets
+     * resched_pending_ around it, while snapshot restore calls it
+     * directly to re-materialize an in-flight IPI without recounting.
+     */
+    Irq makeReschedIrq(int core_index);
+
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r,
+                     const std::function<Thread *(int)> &threadById);
+    /** Rebuild the callback of a sched.* tagged event. */
+    EventQueue::Callback
+    rebuildEvent(const snap::Tag &tag,
+                 const std::function<Thread *(int)> &threadById);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
+    EventQueue::Callback makePreemptCheck(CpuCore *target, Thread *waker);
+    EventQueue::Callback makeSleepTimeout(Thread *thread);
+    EventQueue::Callback makeIpiDelivery(CpuCore *target);
     CpuCore *placeThread(Thread *thread);
     Thread *popBest(int core_index);
     Thread *peekBest(int core_index) const;

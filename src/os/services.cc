@@ -1,8 +1,10 @@
 #include "os/services.h"
 
 #include <memory>
+#include <utility>
 
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 
@@ -111,9 +113,40 @@ SystemServices::applyEffects(const SsrRequest &request)
 WorkItem
 SystemServices::makeWorkItem(SsrRequest request)
 {
+    const Tick duration = sampleCost(request.kind);
+    return buildItem(std::move(request), duration,
+                     std::make_shared<Tick>(0));
+}
+
+WorkItem
+SystemServices::rebuildWorkItem(SsrRequest request, Tick duration,
+                                Tick service_start_at, Tick enqueued_at)
+{
+    WorkItem item = buildItem(std::move(request), duration,
+                              std::make_shared<Tick>(service_start_at));
+    item.enqueued_at = enqueued_at;
+    return item;
+}
+
+WorkItem
+SystemServices::buildItem(SsrRequest request, Tick duration,
+                          std::shared_ptr<Tick> service_start)
+{
     WorkItem item;
-    item.duration = sampleCost(request.kind);
+    item.duration = duration;
     item.ssr = true;
+    item.service_start = service_start;
+    item.snap.valid = true;
+    item.snap.id = request.id;
+    item.snap.kind = static_cast<std::uint32_t>(request.kind);
+    item.snap.pasid = request.pasid;
+    item.snap.vpn = request.vpn;
+    item.snap.issued_at = request.issued_at;
+    item.snap.drained_at = request.drained_at;
+    item.snap.queued_at = request.queued_at;
+    item.snap.origin = request.origin;
+    item.snap.driver_wrapped = request.driver_wrapped;
+    item.snap.driver_index = request.driver_index;
     switch (request.kind) {
       case ServiceKind::Signal:
         item.footprint_accesses = 48;
@@ -131,7 +164,6 @@ SystemServices::makeWorkItem(SsrRequest request)
         item.footprint_branches = 2000;
         break;
     }
-    auto service_start = std::make_shared<Tick>(0);
     item.on_service_start = [service_start](Tick at) {
         *service_start = at;
     };
@@ -169,6 +201,72 @@ std::uint64_t
 SystemServices::serviced(ServiceKind kind) const
 {
     return serviced_by_kind_[static_cast<int>(kind)];
+}
+
+void
+snapSaveRequest(snap::Writer &w, const SsrRequest &request)
+{
+    if (request.origin.empty())
+        throw snap::SnapshotError(
+            "in-flight service request " + std::to_string(request.id)
+            + " has no snapshot origin tag");
+    w.u64(request.id);
+    w.u32(static_cast<std::uint32_t>(request.kind));
+    w.u32(request.pasid);
+    w.u64(request.vpn);
+    w.u64(request.issued_at);
+    w.u64(request.drained_at);
+    w.u64(request.queued_at);
+    w.tag(request.origin);
+    w.b(request.driver_wrapped);
+    w.u64(request.driver_index);
+}
+
+SsrRequest
+snapRestoreRequest(snap::Reader &r, const RequestRebuild &rebuild)
+{
+    SsrRequest request;
+    request.id = r.u64();
+    request.kind = static_cast<ServiceKind>(r.u32());
+    request.pasid = r.u32();
+    request.vpn = r.u64();
+    request.issued_at = r.u64();
+    request.drained_at = r.u64();
+    request.queued_at = r.u64();
+    request.origin = r.tag();
+    request.driver_wrapped = r.b();
+    request.driver_index = r.u64();
+    rebuild(request);
+    return request;
+}
+
+void
+SystemServices::snapSave(snap::Writer &w) const
+{
+    snap::Access::save(w, rng());
+    for (const std::uint64_t n : serviced_by_kind_)
+        w.u64(n);
+    w.u64(total_serviced_);
+}
+
+void
+SystemServices::snapRestore(snap::Reader &r)
+{
+    snap::Access::restore(r, rng());
+    for (std::uint64_t &n : serviced_by_kind_)
+        n = r.u64();
+    total_serviced_ = r.u64();
+}
+
+std::uint64_t
+SystemServices::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    for (const std::uint64_t n : serviced_by_kind_)
+        h.mix(n);
+    h.mix(total_serviced_);
+    return h.value();
 }
 
 } // namespace hiss

@@ -14,6 +14,7 @@
 #define HISS_OS_SERVICES_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "mem/address_space_dir.h"
@@ -59,7 +60,29 @@ struct SsrRequest
      * request (fault injection). May be empty.
      */
     std::function<void()> on_abort;
+    /**
+     * Snapshot identity of the device-side callbacks: which producer
+     * created this request and with what arguments. Restore rebuilds
+     * on_service_complete/on_abort from it, so any producer whose
+     * requests can be live across a snapshot must set it.
+     */
+    snap::Tag origin;
+    /** Set by SsrDriver when it wraps on_service_complete, so a
+     *  restore can re-apply the wrapper (drivers()[driver_index]). */
+    bool driver_wrapped = false;
+    std::uint64_t driver_index = 0;
 };
+
+/** Serialize a request's plain fields and origin tag (callbacks are
+ *  identity-only: they travel as the tag). */
+void snapSaveRequest(snap::Writer &w, const SsrRequest &request);
+
+/** Fills a restored request's device callbacks from request.origin. */
+using RequestRebuild = std::function<void(SsrRequest &)>;
+
+/** Read back a request saved by snapSaveRequest. */
+SsrRequest snapRestoreRequest(snap::Reader &r,
+                              const RequestRebuild &rebuild);
 
 /**
  * Per-stage latency decomposition of the SSR pipeline — a
@@ -116,6 +139,23 @@ class SystemServices : public SimObject
      */
     WorkItem makeWorkItem(SsrRequest request);
 
+    /**
+     * Rebuild a WorkItem from snapshot state: same shape as
+     * makeWorkItem but with the already-jittered duration and the
+     * recorded stamps — performs no RNG draw, so restoring in-flight
+     * items leaves the services stream exactly where it was saved.
+     */
+    WorkItem rebuildWorkItem(SsrRequest request, Tick duration,
+                             Tick service_start_at, Tick enqueued_at);
+
+    /// @name Snapshot support (counters + rng; stats live in the
+    /// registry section).
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    std::uint64_t stateHash() const;
+    /// @}
+
     /** Mean cost of a service kind (pre-jitter), for benches/tests. */
     Tick meanCost(ServiceKind kind) const;
 
@@ -128,6 +168,8 @@ class SystemServices : public SimObject
   private:
     Tick sampleCost(ServiceKind kind);
     void applyEffects(const SsrRequest &request);
+    WorkItem buildItem(SsrRequest request, Tick duration,
+                       std::shared_ptr<Tick> service_start);
 
     AddressSpaceDirectory &spaces_;
     FrameAllocator &frames_;

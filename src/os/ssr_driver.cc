@@ -1,8 +1,11 @@
 #include "os/ssr_driver.h"
 
+#include <algorithm>
+
 #include "fault/fault_injector.h"
 #include "sim/check_hooks.h"
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 
@@ -57,7 +60,9 @@ SsrDriver::armWatchdog(std::uint64_t id)
     Tracked &tracked = tracked_[id];
     tracked.watchdog =
         scheduleAfter(faultInjector()->plan().request_timeout,
-                      [this, id] { onWatchdog(id); });
+                      [this, id] { onWatchdog(id); },
+                      EventPriority::Default,
+                      {{"drv.wd", snap_index_, id}, {}});
 }
 
 void
@@ -136,6 +141,8 @@ SsrDriver::queueToWorker(SsrRequest request, CpuCore &core)
         // suppress zombie completions. Only paid when armed.
         auto inner = std::move(request.on_service_complete);
         const std::uint64_t id = request.id;
+        request.driver_wrapped = true;
+        request.driver_index = snap_index_;
         request.on_service_complete =
             [this, checks, id, inner = std::move(inner)](CpuCore &c) {
                 completeRequest(checks, id, inner, c);
@@ -149,6 +156,7 @@ SsrDriver::makeInterrupt()
 {
     Irq irq;
     irq.label = name();
+    irq.token = {"irq.drv", snap_index_};
     irq.ssr_related = true;
     irq.footprint_accesses = params_.top_footprint_accesses;
     irq.footprint_branches = params_.top_footprint_branches;
@@ -164,8 +172,9 @@ SsrDriver::makeInterrupt()
             if (checks)
                 checks->onSsrDrained(&source_, request.id);
             if (tracking) {
-                tracked_[request.id].on_abort =
-                    std::move(request.on_abort);
+                Tracked &entry = tracked_[request.id];
+                entry.on_abort = std::move(request.on_abort);
+                entry.origin = request.origin;
                 armWatchdog(request.id);
             }
             pending_.push_back(std::move(request));
@@ -197,6 +206,131 @@ SsrDriver::makeInterrupt()
         }
     };
     return irq;
+}
+
+void
+SsrDriver::rewrapCompletion(SsrRequest &request)
+{
+    auto inner = std::move(request.on_service_complete);
+    const std::uint64_t id = request.id;
+    request.on_service_complete =
+        [this, id, inner = std::move(inner)](CpuCore &c) {
+            completeRequest(checkHooks(), id, inner, c);
+        };
+}
+
+void
+SsrDriver::snapSave(snap::Writer &w) const
+{
+    snap::Access::save(w, rng());
+    w.u64(pending_.size());
+    for (const SsrRequest &request : pending_)
+        snapSaveRequest(w, request);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(tracked_.size());
+    for (const auto &[id, entry] : tracked_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (const std::uint64_t id : ids) {
+        const Tracked &entry = tracked_.at(id);
+        w.u64(id);
+        w.u64(entry.watchdog);
+        w.b(entry.work_queued);
+        w.b(entry.aborted);
+        w.b(static_cast<bool>(entry.on_abort));
+        w.tag(entry.origin);
+    }
+    w.b(bh_model_.fresh_wake_);
+    w.u64(bh_model_.remaining_);
+    w.b(bh_model_.in_entry_);
+    w.u64(interrupts_);
+    w.u64(requests_drained_);
+    w.u64(requests_aborted_);
+    w.u64(completions_suppressed_);
+}
+
+void
+SsrDriver::snapRestore(snap::Reader &r, const RequestRebuild &rebuild)
+{
+    snap::Access::restore(r, rng());
+    pending_.clear();
+    const std::uint64_t npending = r.u64();
+    for (std::uint64_t i = 0; i < npending; ++i)
+        pending_.push_back(snapRestoreRequest(r, rebuild));
+    tracked_.clear();
+    const std::uint64_t ntracked = r.u64();
+    for (std::uint64_t i = 0; i < ntracked; ++i) {
+        const std::uint64_t id = r.u64();
+        Tracked entry;
+        entry.watchdog = r.u64();
+        entry.work_queued = r.b();
+        entry.aborted = r.b();
+        const bool had_abort = r.b();
+        entry.origin = r.tag();
+        if (had_abort) {
+            // The abort callback was moved off the request at drain
+            // time; rebuild the request's callbacks and take it back.
+            SsrRequest origin_request;
+            origin_request.id = id;
+            origin_request.origin = entry.origin;
+            rebuild(origin_request);
+            entry.on_abort = std::move(origin_request.on_abort);
+        }
+        tracked_.emplace(id, std::move(entry));
+    }
+    bh_model_.fresh_wake_ = r.b();
+    bh_model_.remaining_ = r.u64();
+    bh_model_.in_entry_ = r.b();
+    interrupts_ = r.u64();
+    requests_drained_ = r.u64();
+    requests_aborted_ = r.u64();
+    completions_suppressed_ = r.u64();
+}
+
+EventQueue::Callback
+SsrDriver::rebuildEvent(const snap::Tag &tag)
+{
+    if (tag.self.is("drv.wd")) {
+        const std::uint64_t id = tag.self.b;
+        return [this, id] { onWatchdog(id); };
+    }
+    throw snap::SnapshotError("unknown driver event tag");
+}
+
+std::uint64_t
+SsrDriver::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(pending_.size());
+    for (const SsrRequest &request : pending_) {
+        h.mix(request.id);
+        h.mix(static_cast<std::uint64_t>(request.kind));
+        h.mix(request.issued_at);
+        h.mix(request.drained_at);
+    }
+    std::vector<std::uint64_t> ids;
+    ids.reserve(tracked_.size());
+    for (const auto &[id, entry] : tracked_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    h.mix(ids.size());
+    for (const std::uint64_t id : ids) {
+        const Tracked &entry = tracked_.at(id);
+        h.mix(id);
+        h.mix(entry.watchdog);
+        h.mix(entry.work_queued ? 1 : 0);
+        h.mix(entry.aborted ? 1 : 0);
+    }
+    h.mix(bh_model_.fresh_wake_ ? 1 : 0);
+    h.mix(bh_model_.remaining_);
+    h.mix(bh_model_.in_entry_ ? 1 : 0);
+    h.mix(interrupts_);
+    h.mix(requests_drained_);
+    h.mix(requests_aborted_);
+    h.mix(completions_suppressed_);
+    return h.value();
 }
 
 BurstRequest

@@ -108,6 +108,24 @@ class SsrDriver : public SimObject
         return completions_suppressed_;
     }
 
+    /// @name Snapshot support.
+    /// @{
+    /** Position in Kernel::drivers(), used in event/irq tags. */
+    void setSnapIndex(std::uint64_t index) { snap_index_ = index; }
+    std::uint64_t snapIndex() const { return snap_index_; }
+
+    /** Re-apply the completion wrapper to a restored request that
+     *  carried one when saved (checks are never armed across a
+     *  snapshot, so only watchdog tracking needs re-wrapping). */
+    void rewrapCompletion(SsrRequest &request);
+
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r, const RequestRebuild &rebuild);
+    /** Rebuild the callback of a "drv.wd" watchdog event. */
+    EventQueue::Callback rebuildEvent(const snap::Tag &tag);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     /** Bottom-half kthread model: pre-process pending requests. */
     class BottomHalfModel : public ExecutionModel
@@ -120,6 +138,8 @@ class SsrDriver : public SimObject
                          bool completed) override;
 
       private:
+        friend class SsrDriver; // Snapshot access to progress state.
+
         SsrDriver &driver_;
         bool fresh_wake_ = true;
         Tick remaining_ = 0;
@@ -139,6 +159,8 @@ class SsrDriver : public SimObject
         bool work_queued = false;
         bool aborted = false;
         std::function<void()> on_abort;
+        /** Originating request's tag, to rebuild on_abort on restore. */
+        snap::Tag origin;
     };
 
     void queueToWorker(SsrRequest request, CpuCore &core);
@@ -163,6 +185,7 @@ class SsrDriver : public SimObject
     std::uint64_t requests_drained_ = 0;
     std::uint64_t requests_aborted_ = 0;
     std::uint64_t completions_suppressed_ = 0;
+    std::uint64_t snap_index_ = 0;
 };
 
 } // namespace hiss

@@ -22,6 +22,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 class CpuCore;
 class Thread;
 
@@ -179,6 +183,9 @@ class Thread
     double recentShare() const { return recent_share_; }
 
   private:
+    /** Snapshot layer serializes the dynamic fields. */
+    friend struct snap::Access;
+
     int id_;
     std::string name_;
     Priority prio_;

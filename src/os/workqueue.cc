@@ -3,8 +3,52 @@
 #include "fault/fault_injector.h"
 #include "os/qos_governor.h"
 #include "sim/logging.h"
+#include "snap/snap.h"
 
 namespace hiss {
+
+void
+snapSaveWorkItem(snap::Writer &w, const WorkItem &item)
+{
+    if (!item.snap.valid)
+        throw snap::SnapshotError(
+            "live work item has no snapshot identity (not built by "
+            "SystemServices)");
+    w.u64(item.snap.id);
+    w.u32(item.snap.kind);
+    w.u32(item.snap.pasid);
+    w.u64(item.snap.vpn);
+    w.u64(item.snap.issued_at);
+    w.u64(item.snap.drained_at);
+    w.u64(item.snap.queued_at);
+    w.tag(item.snap.origin);
+    w.b(item.snap.driver_wrapped);
+    w.u64(item.snap.driver_index);
+    w.u64(item.duration);
+    w.u64(item.service_start != nullptr ? *item.service_start : 0);
+    w.u64(item.enqueued_at);
+}
+
+WorkItem
+snapRestoreWorkItem(snap::Reader &r, const WorkItemRebuild &rebuild)
+{
+    WorkItemSnap s;
+    s.valid = true;
+    s.id = r.u64();
+    s.kind = r.u32();
+    s.pasid = r.u32();
+    s.vpn = r.u64();
+    s.issued_at = r.u64();
+    s.drained_at = r.u64();
+    s.queued_at = r.u64();
+    s.origin = r.tag();
+    s.driver_wrapped = r.b();
+    s.driver_index = r.u64();
+    const Tick duration = r.u64();
+    const Tick service_start_at = r.u64();
+    const Tick enqueued_at = r.u64();
+    return rebuild(s, duration, service_start_at, enqueued_at);
+}
 
 WorkQueue::WorkQueue(SimContext &ctx, const std::string &name,
                      Scheduler &scheduler, int num_cores)
@@ -69,10 +113,92 @@ WorkQueue::pop(int core)
     return item;
 }
 
+void
+WorkQueue::snapSave(snap::Writer &w) const
+{
+    w.u64(queues_.size());
+    for (const auto &queue : queues_) {
+        w.u64(queue.size());
+        for (const WorkItem &item : queue)
+            snapSaveWorkItem(w, item);
+    }
+    w.u64(pushed_);
+    w.u64(completed_);
+    w.u64(in_service_);
+}
+
+void
+WorkQueue::snapRestore(snap::Reader &r, const WorkItemRebuild &rebuild)
+{
+    if (r.u64() != queues_.size())
+        throw snap::SnapshotError("work queue core-count mismatch");
+    for (auto &queue : queues_) {
+        queue.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            queue.push_back(snapRestoreWorkItem(r, rebuild));
+    }
+    pushed_ = r.u64();
+    completed_ = r.u64();
+    in_service_ = r.u64();
+}
+
+std::uint64_t
+WorkQueue::stateHash() const
+{
+    snap::Hash64 h;
+    for (const auto &queue : queues_) {
+        h.mix(queue.size());
+        for (const WorkItem &item : queue) {
+            h.mix(item.snap.id);
+            h.mix(item.duration);
+            h.mix(item.enqueued_at);
+        }
+    }
+    h.mix(pushed_);
+    h.mix(completed_);
+    h.mix(in_service_);
+    return h.value();
+}
+
 WorkerModel::WorkerModel(WorkQueue &queue, int core, QosGovernor *governor,
                          FaultInjector *faults)
     : queue_(queue), core_(core), governor_(governor), faults_(faults)
 {
+}
+
+void
+WorkerModel::snapSave(snap::Writer &w) const
+{
+    w.b(current_.has_value());
+    if (current_.has_value())
+        snapSaveWorkItem(w, *current_);
+    w.u64(remaining_);
+    w.u64(backoff_);
+}
+
+void
+WorkerModel::snapRestore(snap::Reader &r, const WorkItemRebuild &rebuild)
+{
+    current_.reset();
+    if (r.b())
+        current_ = snapRestoreWorkItem(r, rebuild);
+    remaining_ = r.u64();
+    backoff_ = r.u64();
+}
+
+std::uint64_t
+WorkerModel::stateHash() const
+{
+    snap::Hash64 h;
+    h.mix(current_.has_value() ? 1 : 0);
+    if (current_.has_value()) {
+        h.mix(current_->snap.id);
+        h.mix(current_->duration);
+    }
+    h.mix(remaining_);
+    h.mix(backoff_);
+    return h.value();
 }
 
 BurstRequest

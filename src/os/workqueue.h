@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,29 @@ namespace hiss {
 
 class QosGovernor;
 class FaultInjector;
+
+/**
+ * Snapshot identity of a WorkItem: the plain fields of the service
+ * request it performs (workqueue.h cannot name SsrRequest — services
+ * includes this header — so the request travels flattened). Filled
+ * by SystemServices when it builds the item; an item without one
+ * (valid == false) cannot cross a snapshot.
+ */
+struct WorkItemSnap
+{
+    bool valid = false;
+    std::uint64_t id = 0;
+    std::uint32_t kind = 0; ///< ServiceKind as an integer.
+    std::uint32_t pasid = 0;
+    std::uint64_t vpn = 0;
+    Tick issued_at = 0;
+    Tick drained_at = 0;
+    Tick queued_at = 0;
+    /** Device-callback identity (SsrRequest::origin). */
+    snap::Tag origin;
+    bool driver_wrapped = false;
+    std::uint64_t driver_index = 0;
+};
 
 /** One deferred unit of kernel work. */
 struct WorkItem
@@ -51,7 +75,29 @@ struct WorkItem
     bool ssr = true;
     /** Set by the queue on push; used for latency stats. */
     Tick enqueued_at = 0;
+    /** Kworker pickup stamp shared with on_complete, so a snapshot
+     *  can read it back out (null for hand-built test items). */
+    std::shared_ptr<Tick> service_start;
+    /** Snapshot identity (see WorkItemSnap). */
+    WorkItemSnap snap;
 };
+
+/** Serialize one item; throws SnapshotError if it carries no
+ *  snapshot identity. */
+void snapSaveWorkItem(snap::Writer &w, const WorkItem &item);
+
+/**
+ * Rebuilds a live WorkItem from its snapshot identity plus the saved
+ * jittered duration and stage stamps (Kernel supplies this; it routes
+ * through SystemServices::rebuildWorkItem so no RNG is drawn).
+ */
+using WorkItemRebuild = std::function<WorkItem(
+    const WorkItemSnap &, Tick duration, Tick service_start_at,
+    Tick enqueued_at)>;
+
+/** Read back an item saved by snapSaveWorkItem. */
+WorkItem snapRestoreWorkItem(snap::Reader &r,
+                             const WorkItemRebuild &rebuild);
 
 /** A per-CPU bound work queue drained by per-core kworkers. */
 class WorkQueue : public SimObject
@@ -109,6 +155,13 @@ class WorkQueue : public SimObject
         latency_.sample(static_cast<double>(latency));
     }
 
+    /// @name Snapshot support (queued items + conservation counters).
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r, const WorkItemRebuild &rebuild);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     Scheduler &scheduler_;
     std::vector<std::deque<WorkItem>> queues_;
@@ -147,6 +200,13 @@ class WorkerModel : public ExecutionModel
 
     /** Current exponential-backoff delay (0 = not backing off). */
     Tick backoffDelay() const { return backoff_; }
+
+    /// @name Snapshot support (in-service item + backoff state).
+    /// @{
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r, const WorkItemRebuild &rebuild);
+    std::uint64_t stateHash() const;
+    /// @}
 
   private:
     WorkQueue &queue_;

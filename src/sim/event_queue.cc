@@ -9,7 +9,8 @@
 namespace hiss {
 
 EventId
-EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
+EventQueue::schedule(Tick when, Callback fn, EventPriority prio,
+                     const snap::Tag &tag)
 {
     if (when < now_)
         panic("EventQueue: scheduling event in the past (%llu < %llu)",
@@ -25,6 +26,9 @@ EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
     }
     Slot &s = slots_[slot];
     s.fn = std::move(fn);
+    // Always overwrite, even with an empty tag: a stale tag from a
+    // previous tenant of this slot must never describe the new event.
+    s.tag = tag;
     heap_.push_back(Entry{when, makeOrder(prio, next_seq_++), slot,
                           s.gen});
     std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
@@ -33,9 +37,10 @@ EventQueue::schedule(Tick when, Callback fn, EventPriority prio)
 }
 
 EventId
-EventQueue::scheduleAfter(Tick delay, Callback fn, EventPriority prio)
+EventQueue::scheduleAfter(Tick delay, Callback fn, EventPriority prio,
+                          const snap::Tag &tag)
 {
-    return schedule(now_ + delay, std::move(fn), prio);
+    return schedule(now_ + delay, std::move(fn), prio, tag);
 }
 
 bool
@@ -203,6 +208,143 @@ EventQueue::auditErrors() const
             return fail("slot %zu is neither live nor free", slot);
     }
     return {};
+}
+
+void
+EventQueue::saveState(snap::Writer &w) const
+{
+    w.section("events");
+    w.u64(now_);
+    w.u64(next_seq_);
+    w.u64(executed_);
+
+    // Exact slot-table layout: EventIds stored inside components
+    // (watchdogs, wake timers, ...) are serialized verbatim, so the
+    // restored table must reproduce every (slot, gen) pair and the
+    // free-list order that future schedules will consume.
+    w.u64(slots_.size());
+    for (const Slot &s : slots_)
+        w.u32(s.gen);
+    w.u64(free_slots_.size());
+    for (const std::uint32_t slot : free_slots_)
+        w.u32(slot);
+
+    // Live events, sorted by (when, order) for a canonical byte
+    // stream; dead heap residue is dropped (unobservable).
+    std::vector<Entry> live;
+    live.reserve(num_pending_);
+    for (const Entry &e : heap_) {
+        if (!dead(e))
+            live.push_back(e);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.order < b.order;
+              });
+    w.u64(live.size());
+    for (const Entry &e : live) {
+        const snap::Tag &tag = slots_[e.slot].tag;
+        if (tag.empty())
+            throw snap::SnapshotError(
+                "cannot snapshot: live event at tick " +
+                std::to_string(e.when) +
+                " has no tag (untagged schedule site)");
+        w.u64(e.when);
+        w.u64(e.order);
+        w.u32(e.slot);
+        w.u32(e.gen);
+        w.tag(tag);
+    }
+}
+
+void
+EventQueue::restoreState(snap::Reader &r, const TagResolver &resolve)
+{
+    reset();
+    r.section("events");
+    now_ = r.u64();
+    next_seq_ = r.u64();
+    executed_ = r.u64();
+
+    slots_.resize(r.u64());
+    for (Slot &s : slots_)
+        s.gen = r.u32();
+    free_slots_.resize(r.u64());
+    for (std::uint32_t &slot : free_slots_)
+        slot = r.u32();
+
+    const std::uint64_t live = r.u64();
+    heap_.reserve(live);
+    for (std::uint64_t i = 0; i < live; ++i) {
+        Entry e;
+        e.when = r.u64();
+        e.order = r.u64();
+        e.slot = r.u32();
+        e.gen = r.u32();
+        if (e.slot >= slots_.size())
+            throw snap::SnapshotError(
+                "snapshot corrupt: event references slot " +
+                std::to_string(e.slot) + " beyond table size " +
+                std::to_string(slots_.size()));
+        const snap::Tag tag = r.tag();
+        Slot &s = slots_[e.slot];
+        s.tag = tag;
+        s.fn = resolve(tag);
+        heap_.push_back(e);
+    }
+    // Heap layout after make_heap may differ from the saved queue's
+    // internal array, but the pop sequence is identical because the
+    // (when, order) keys are unique.
+    std::make_heap(heap_.begin(), heap_.end(), EntryCompare{});
+    num_pending_ = live;
+    dead_in_heap_ = 0;
+}
+
+std::uint64_t
+EventQueue::stateHash() const
+{
+    snap::Hash64 h;
+    h.mix(now_);
+    h.mix(next_seq_);
+    h.mix(executed_);
+    h.mix(slots_.size());
+    for (const Slot &s : slots_)
+        h.mix(s.gen);
+    h.mix(free_slots_.size());
+    for (const std::uint32_t slot : free_slots_)
+        h.mix(slot);
+
+    std::vector<Entry> live;
+    live.reserve(num_pending_);
+    for (const Entry &e : heap_) {
+        if (!dead(e))
+            live.push_back(e);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.order < b.order;
+              });
+    h.mix(live.size());
+    for (const Entry &e : live) {
+        h.mix(e.when);
+        h.mix(e.order);
+        h.mix(e.slot);
+        h.mix(e.gen);
+        const snap::Tag &tag = slots_[e.slot].tag;
+        h.mixString(tag.self.kind != nullptr ? tag.self.kind : "");
+        h.mix(tag.self.a);
+        h.mix(tag.self.b);
+        h.mix(tag.self.c);
+        h.mixString(tag.arg.kind != nullptr ? tag.arg.kind : "");
+        h.mix(tag.arg.a);
+        h.mix(tag.arg.b);
+        h.mix(tag.arg.c);
+    }
+    return h.value();
 }
 
 void

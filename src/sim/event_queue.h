@@ -24,11 +24,13 @@
 #define HISS_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/event_callback.h"
 #include "sim/ticks.h"
+#include "snap/snap.h"
 
 namespace hiss {
 
@@ -67,14 +69,21 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute tick @p when (must be >= now).
+     * @param tag snapshot identity of the callback: names the
+     *        schedule site plus the integers its closure captured so
+     *        saveState() can serialize the event and restoreState()
+     *        can rebuild it. Events scheduled without a tag are fine
+     *        as long as none is pending when a snapshot is taken.
      * @return an EventId usable with cancel().
      */
     EventId schedule(Tick when, Callback fn,
-                     EventPriority prio = EventPriority::Default);
+                     EventPriority prio = EventPriority::Default,
+                     const snap::Tag &tag = {});
 
     /** Schedule @p fn to run @p delay ticks from now. */
     EventId scheduleAfter(Tick delay, Callback fn,
-                          EventPriority prio = EventPriority::Default);
+                          EventPriority prio = EventPriority::Default,
+                          const snap::Tag &tag = {});
 
     /**
      * Cancel a pending event. @return true if the event was pending
@@ -134,6 +143,37 @@ class EventQueue
      * the first violation found.
      */
     std::string auditErrors() const;
+
+    /**
+     * Rebuilds the callback for a restored event from its tag.
+     * Implemented by the system layer, which dispatches on
+     * `tag.self.kind` to the owning component.
+     */
+    using TagResolver = std::function<Callback(const snap::Tag &)>;
+
+    /**
+     * Serialize the queue: time/sequence counters, the exact slot
+     * table and free-list layout (so EventIds held by components
+     * stay valid verbatim across restore), and every live event with
+     * its tag. @throws snap::SnapshotError if a live event carries
+     * no tag (its callback could not be rebuilt).
+     */
+    void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore a queue saved by saveState() into this (empty) queue,
+     * rebuilding each pending callback via @p resolve. The heap is
+     * rebuilt with std::make_heap; the pop order is identical to the
+     * saved queue's because (when, order) keys are unique.
+     */
+    void restoreState(snap::Reader &r, const TagResolver &resolve);
+
+    /**
+     * Order-insensitive digest of queue state: counters, slot/free
+     * layout, and live events (key + tag). Cancelled heap residue is
+     * excluded — lazily-deleted entries are unobservable.
+     */
+    std::uint64_t stateHash() const;
 
   private:
     /**
@@ -213,6 +253,8 @@ class EventQueue
     {
         std::uint32_t gen = 1;
         Callback fn;
+        /** Snapshot identity of fn; rewritten on every schedule(). */
+        snap::Tag tag;
     };
 
     Tick now_ = 0;

@@ -23,6 +23,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /** A self-contained deterministic random stream. */
 class Rng
 {
@@ -104,6 +108,9 @@ class Rng
     double normal(double mean, double stddev);
 
   private:
+    /** Snapshot layer serializes/restores the raw state words. */
+    friend struct snap::Access;
+
     static std::uint64_t
     rotl(std::uint64_t x, int k)
     {

@@ -60,6 +60,7 @@ class SimObject
     const EventQueue &events() const { return ctx_.events; }
     StatRegistry &stats() { return ctx_.stats; }
     Rng &rng() { return rng_; }
+    const Rng &rng() const { return rng_; }
 
     /** The attached timeline writer, or nullptr. */
     TraceWriter *traceWriter() const { return ctx_.trace; }
@@ -73,9 +74,11 @@ class SimObject
     /** Schedule a member callback after @p delay ticks. */
     EventId
     scheduleAfter(Tick delay, EventQueue::Callback fn,
-                  EventPriority prio = EventPriority::Default)
+                  EventPriority prio = EventPriority::Default,
+                  const snap::Tag &tag = {})
     {
-        return ctx_.events.scheduleAfter(delay, std::move(fn), prio);
+        return ctx_.events.scheduleAfter(delay, std::move(fn), prio,
+                                         tag);
     }
 
     /** Emit a trace line tagged with this object's name. */

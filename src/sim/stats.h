@@ -21,6 +21,10 @@
 
 namespace hiss {
 
+namespace snap {
+struct Access;
+}
+
 /** Base class for all statistics. */
 class Stat
 {
@@ -59,6 +63,7 @@ class Counter : public Stat
     void reset() override { count_ = 0; }
 
   private:
+    friend struct snap::Access;
     std::uint64_t count_ = 0;
 };
 
@@ -75,6 +80,7 @@ class Scalar : public Stat
     void reset() override { value_ = 0.0; }
 
   private:
+    friend struct snap::Access;
     double value_ = 0.0;
 };
 
@@ -98,6 +104,7 @@ class Distribution : public Stat
     void reset() override;
 
   private:
+    friend struct snap::Access;
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;

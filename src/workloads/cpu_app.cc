@@ -1,6 +1,7 @@
 #include "workloads/cpu_app.h"
 
 #include "sim/logging.h"
+#include "snap/access.h"
 
 namespace hiss {
 namespace {
@@ -165,6 +166,82 @@ CpuApp::finishApp()
     }
     if (on_complete_)
         on_complete_();
+}
+
+void
+CpuApp::ThreadModel::snapSave(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(segment));
+    w.u64(remaining);
+    snap::Access::save(w, astream_);
+    snap::Access::save(w, bstream_);
+}
+
+void
+CpuApp::ThreadModel::snapRestore(snap::Reader &r)
+{
+    segment = static_cast<Segment>(r.u32());
+    remaining = r.u64();
+    snap::Access::restore(r, astream_);
+    snap::Access::restore(r, bstream_);
+}
+
+std::uint64_t
+CpuApp::ThreadModel::stateHash() const
+{
+    snap::Hash64 h;
+    h.mix(static_cast<std::uint64_t>(segment));
+    h.mix(remaining);
+    return h.value();
+}
+
+void
+CpuApp::snapSave(snap::Writer &w) const
+{
+    w.section(name().c_str());
+    snap::Access::save(w, rng());
+    w.u64(models_.size());
+    for (const auto &model : models_)
+        model->snapSave(w);
+    w.u32(static_cast<std::uint32_t>(arrived_));
+    w.u64(iterations_done_);
+    w.b(done_);
+    w.u64(start_time_);
+    w.u64(completion_time_);
+}
+
+void
+CpuApp::snapRestore(snap::Reader &r)
+{
+    r.section(name().c_str());
+    snap::Access::restore(r, rng());
+    if (r.u64() != models_.size())
+        throw snap::SnapshotError(
+            name() + ": thread count mismatch (start() not replayed "
+                     "with the snapshot's params?)");
+    for (const auto &model : models_)
+        model->snapRestore(r);
+    arrived_ = static_cast<int>(r.u32());
+    iterations_done_ = r.u64();
+    done_ = r.b();
+    start_time_ = r.u64();
+    completion_time_ = r.u64();
+}
+
+std::uint64_t
+CpuApp::stateHash() const
+{
+    snap::Hash64 h;
+    snap::Access::hash(h, rng());
+    h.mix(models_.size());
+    for (const auto &model : models_)
+        h.mix(model->stateHash());
+    h.mix(static_cast<std::uint64_t>(arrived_));
+    h.mix(iterations_done_);
+    h.mix(done_ ? 1 : 0);
+    h.mix(start_time_);
+    h.mix(completion_time_);
+    return h.value();
 }
 
 void

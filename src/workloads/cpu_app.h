@@ -23,6 +23,7 @@
 #include "os/kernel.h"
 #include "os/thread.h"
 #include "sim/sim_object.h"
+#include "snap/snap.h"
 
 namespace hiss {
 
@@ -73,6 +74,17 @@ class CpuApp : public SimObject
     const CpuAppParams &params() const { return params_; }
     std::uint64_t iterationsDone() const { return iterations_done_; }
 
+    /// @name Snapshot support.
+    /// @{
+    /** Serialize fork-join progress and per-thread stream cursors.
+     *  The app schedules no events of its own, so there are no tags
+     *  to rebuild; start() must have been replayed on the restore
+     *  target (structure, covered by the config fingerprint). */
+    void snapSave(snap::Writer &w) const;
+    void snapRestore(snap::Reader &r);
+    std::uint64_t stateHash() const;
+    /// @}
+
   private:
     /** Per-thread execution segments. */
     enum class Segment { Parallel, AtBarrier, Serial, Done };
@@ -87,6 +99,10 @@ class CpuApp : public SimObject
         void onBurstDone(CpuCore &core, Tick ran,
                          std::uint64_t instructions_done,
                          bool completed) override;
+
+        void snapSave(snap::Writer &w) const;
+        void snapRestore(snap::Reader &r);
+        std::uint64_t stateHash() const;
 
         Segment segment = Segment::Parallel;
         std::uint64_t remaining = 0;

@@ -297,7 +297,7 @@ expectBatchMatchesScalar(IommuParams params)
                 reqs.push_back(
                     {mix[i], [&log, idx, &h](TranslateResult) {
                          log.emplace_back(idx, h.events.now());
-                     }});
+                     }, {}});
             }
             h.iommu->translateBatch(std::move(reqs));
         } else {
@@ -346,7 +346,7 @@ TEST_F(IommuTest, TranslateBatchEmptyAndSingleton)
     kernel->gpuPageTable().map(42, 7);
     int done = 0;
     std::vector<Iommu::TranslateRequest> one;
-    one.push_back({42, [&](TranslateResult) { ++done; }});
+    one.push_back({42, [&](TranslateResult) { ++done; }, {}});
     iommu->translateBatch(std::move(one));
     events.runUntil(events.now() + usToTicks(10));
     EXPECT_EQ(done, 1);

@@ -20,6 +20,13 @@
 #                                      fails on >20% items_per_second
 #                                      loss of any *Batch median)
 #        tools/ci.sh bench --update   (rewrite the committed baselines)
+#        tools/ci.sh snapshot         (snapshot fidelity leg: a run
+#                                      restored from a mid-warmup
+#                                      snapshot must produce byte-
+#                                      identical stats to the cold
+#                                      run, with and without fault
+#                                      injection; first divergence
+#                                      reported by tools/trace_diff)
 #        tools/ci.sh nosimd           (portable-kernel leg: build with
 #                                      HISS_SIMD=OFF, run the lint gate
 #                                      plus the substrate-equivalence
@@ -73,7 +80,8 @@ if [ "${1-}" = "bench" ]; then
     [ "${2-}" = "--update" ] && update=true
     cmake --preset default
     cmake --build --preset default -j "$jobs" \
-        --target microbench_substrate microbench_event_queue
+        --target microbench_substrate microbench_event_queue \
+                 microbench_snapshot
     bench_flags=(--benchmark_format=json --benchmark_min_time=0.5
                  --benchmark_repetitions=3
                  --benchmark_report_aggregates_only=true)
@@ -83,17 +91,36 @@ if [ "${1-}" = "bench" ]; then
         > "$tmpdir/BENCH_substrate.json"
     build-default/bench/microbench_event_queue "${bench_flags[@]}" \
         > "$tmpdir/BENCH_event_queue.json"
+    build-default/bench/microbench_snapshot "${bench_flags[@]}" \
+        > "$tmpdir/BENCH_snapshot.json"
+
+    # The warm-start engine must keep paying for itself: the
+    # cold/warm sweep ratio recorded by SnapshotSweepSpeedup has to
+    # stay at 2x or better (ISSUE 8's acceptance floor).
+    if ! awk '
+        /"name":/ { gsub(/[",]/, ""); name = $2 }
+        /"speedup":/ {
+            gsub(/,/, "")
+            if (name ~ /SnapshotSweepSpeedup/ && name ~ /_median$/) {
+                printf "ci: bench snapshot warm-sweep speedup %.2fx\n", $2
+                if ($2 + 0 < 2.0) exit 1
+            }
+        }' "$tmpdir/BENCH_snapshot.json"; then
+        echo "ci: bench FAILED: warm-sweep speedup fell below 2x"
+        exit 1
+    fi
 
     if $update; then
         cp "$tmpdir/BENCH_substrate.json" BENCH_substrate.json
         cp "$tmpdir/BENCH_event_queue.json" BENCH_event_queue.json
+        cp "$tmpdir/BENCH_snapshot.json" BENCH_snapshot.json
         echo "ci: bench baselines rewritten (BENCH_substrate.json," \
-             "BENCH_event_queue.json)"
+             "BENCH_event_queue.json, BENCH_snapshot.json)"
         exit 0
     fi
 
     fail=0
-    for b in substrate event_queue; do
+    for b in substrate event_queue snapshot; do
         base="BENCH_$b.json"
         fresh="$tmpdir/BENCH_$b.json"
         if [ ! -f "$base" ]; then
@@ -144,6 +171,70 @@ if [ "${1-}" = "bench" ]; then
     exit 0
 fi
 
+# `snapshot` mode: end-to-end restore fidelity through the CLI. A
+# run restored from a mid-warmup snapshot must produce byte-identical
+# stats/CSV dumps and stdout (modulo wall-clock and snapshot progress
+# lines) to the cold run that never stopped. Exercised twice: clean,
+# and with the full fault-injection schedule armed (watchdogs, loss
+# ledger, RNG-driven IRQ fates all cross the snapshot boundary).
+run_snapshot() {
+    cmake --preset default
+    cmake --build --preset default -j "$jobs" \
+        --target hiss_sim trace_diff
+    local sim=build-default/tools/hiss_sim
+    local differ=build-default/tools/trace_diff
+    local tmpdir
+    tmpdir=$(mktemp -d)
+    # Not `trap ... EXIT`: bench mode owns that slot when sourced.
+    local base="--cpu x264 --gpu sssp --duration 30 --seed 9"
+    local faulty="$base --fault-drop-irq 0.2 --fault-dup-irq 0.15 \
+--fault-delay-irq 0.2 --fault-delay-ipi 0.1 --fault-stall-kworker 0.1 \
+--fault-lose-signal 0.1 --fault-timeout 150 --fault-retries 4"
+    local leg flags
+    for leg in clean fault; do
+        flags="$base"
+        [ "$leg" = fault ] && flags="$faulty"
+        # shellcheck disable=SC2086
+        $sim $flags --stats "$tmpdir/$leg.cold.stats" \
+            --csv "$tmpdir/$leg.cold.csv" > "$tmpdir/$leg.cold.out"
+        # shellcheck disable=SC2086
+        $sim $flags --snapshot-save "$tmpdir/$leg.hsnap" \
+            --snapshot-at 13 --stats "$tmpdir/$leg.save.stats" \
+            --csv "$tmpdir/$leg.save.csv" > "$tmpdir/$leg.save.out"
+        # shellcheck disable=SC2086
+        $sim $flags --snapshot-load "$tmpdir/$leg.hsnap" \
+            --stats "$tmpdir/$leg.warm.stats" \
+            --csv "$tmpdir/$leg.warm.csv" > "$tmpdir/$leg.warm.out"
+        local variant kind
+        for variant in save warm; do
+            for kind in stats csv; do
+                $differ "$tmpdir/$leg.cold.$kind" \
+                        "$tmpdir/$leg.$variant.$kind" || {
+                    echo "ci: snapshot leg FAILED:" \
+                         "$leg $variant $kind diverged"
+                    rm -rf "$tmpdir"
+                    exit 1
+                }
+            done
+            $differ --ignore "host:" --ignore "snapshot:" \
+                    "$tmpdir/$leg.cold.out" \
+                    "$tmpdir/$leg.$variant.out" || {
+                echo "ci: snapshot leg FAILED: $leg $variant stdout" \
+                     "diverged"
+                rm -rf "$tmpdir"
+                exit 1
+            }
+        done
+        echo "ci: snapshot leg ($leg) byte-identical"
+    done
+    rm -rf "$tmpdir"
+    echo "ci: snapshot leg passed"
+}
+if [ "${1-}" = "snapshot" ]; then
+    run_snapshot
+    exit 0
+fi
+
 # `nosimd` mode: build with the SIMD kernels compiled out and run the
 # suites that pin the cache substrate (SubstrateBatch.* and the Cache
 # unit tests have no ctest label, so select by name), plus the lint
@@ -185,7 +276,9 @@ for p in "${presets[@]}"; do
     fi
 done
 
-# The full sweep also exercises the portable-kernel build.
+# The full sweep also exercises the portable-kernel build and the
+# snapshot restore-fidelity leg.
 run_nosimd
+run_snapshot
 
-echo "ci: all presets green (${presets[*]} nosimd)"
+echo "ci: all presets green (${presets[*]} nosimd snapshot)"

@@ -59,6 +59,9 @@ struct Options
     std::string stats_path;
     std::string csv_path;
     std::string trace_path;
+    std::string snapshot_save;
+    double snapshot_at_ms = 0.0; // 0 = save at the end of the run.
+    std::string snapshot_load;
     bool proc_interrupts = false;
     bool describe = false;
     bool list = false;
@@ -110,6 +113,10 @@ usage()
         "  --stats FILE|-       dump all statistics\n"
         "  --csv FILE           dump statistics as CSV\n"
         "  --trace FILE.json    chrome://tracing timeline\n"
+        "  --snapshot-save FILE serialize simulator state to FILE\n"
+        "  --snapshot-at ms     when to save (default: end of run)\n"
+        "  --snapshot-load FILE restore state from FILE, then run on;\n"
+        "                       needs the same workload flags + seed\n"
         "  --proc-interrupts    print the /proc/interrupts mirror\n"
         "  --describe           print the system configuration\n"
         "  --list               list available workloads\n");
@@ -336,6 +343,22 @@ parseArgs(int argc, char **argv, Options &opt)
             if (v == nullptr)
                 fatal("--trace needs a path");
             opt.trace_path = v;
+        } else if (arg == "--snapshot-save") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--snapshot-save needs a path");
+            opt.snapshot_save = v;
+        } else if (arg == "--snapshot-at") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--snapshot-at needs milliseconds");
+            opt.snapshot_at_ms =
+                parseReal("--snapshot-at", v, 1e-6, 1e6);
+        } else if (arg == "--snapshot-load") {
+            const char *v = need_value(i);
+            if (v == nullptr)
+                fatal("--snapshot-load needs a path");
+            opt.snapshot_load = v;
         } else if (arg == "--proc-interrupts") {
             opt.proc_interrupts = true;
         } else if (arg == "--describe") {
@@ -358,6 +381,16 @@ parseArgs(int argc, char **argv, Options &opt)
     if (opt.steer && opt.steer_core >= cores)
         fatal("--steer %d: core out of range (system has %d cores)",
               opt.steer_core, cores);
+    if (opt.snapshot_at_ms > 0.0 && opt.snapshot_save.empty())
+        fatal("--snapshot-at needs --snapshot-save");
+    if ((!opt.snapshot_save.empty() || !opt.snapshot_load.empty())
+        && opt.check)
+        fatal("snapshots with the invariant monitor armed (--check) "
+              "are unsupported");
+    if ((!opt.snapshot_save.empty() || !opt.snapshot_load.empty())
+        && opt.reps > 1)
+        fatal("--snapshot-save/--snapshot-load apply to a single "
+              "run, not --reps averaging");
     return true;
 }
 
@@ -527,6 +560,18 @@ run(const Options &opt)
                                         opt.loop_gpu);
     }
 
+    if (!opt.snapshot_load.empty()) {
+        sys.restoreSnapshotFile(opt.snapshot_load);
+        std::printf("snapshot: restored %s (t=%.3f ms)\n",
+                    opt.snapshot_load.c_str(), ticksToMs(sys.now()));
+    }
+    if (!opt.snapshot_save.empty() && opt.snapshot_at_ms > 0.0) {
+        sys.runUntil(msToTicks(opt.snapshot_at_ms));
+        sys.saveSnapshotFile(opt.snapshot_save);
+        std::printf("snapshot: saved %s (t=%.3f ms)\n",
+                    opt.snapshot_save.c_str(), ticksToMs(sys.now()));
+    }
+
     const Tick cap = opt.duration_ms > 0.0
         ? msToTicks(opt.duration_ms)
         : msToTicks(apps.empty() ? 50.0 : 1000.0);
@@ -541,6 +586,13 @@ run(const Options &opt)
                 return true;
             },
             cap);
+    }
+    // An end-of-run snapshot is taken before finalizeStats() so a
+    // later --snapshot-load can keep simulating from unfolded state.
+    if (!opt.snapshot_save.empty() && opt.snapshot_at_ms <= 0.0) {
+        sys.saveSnapshotFile(opt.snapshot_save);
+        std::printf("snapshot: saved %s (t=%.3f ms)\n",
+                    opt.snapshot_save.c_str(), ticksToMs(sys.now()));
     }
     sys.finalizeStats();
 
