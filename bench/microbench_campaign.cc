@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Campaign-engine microbenchmarks.
+ *
+ * Three questions: what does the per-cell bookkeeping (key + framed
+ * record encode/decode) cost, what does a cold grid cost end to end,
+ * and what does a cache-hit resume buy? The last is the headline —
+ * CampaignResumeSpeedup runs the same grid cold (empty cache) and
+ * resumed (warm cache) and records the wall-clock ratio as a
+ * counter, which tools/ci.sh bench gates at >= 5x: a resume that
+ * re-simulates anything it already has defeats the engine's point.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hiss.h"
+
+namespace {
+
+using namespace hiss;
+using namespace hiss::campaign;
+
+/** The benchmark grid: 8 GPU-only ubench cells, 4 ms windows. */
+GridSpec
+benchGrid()
+{
+    GridSpec spec;
+    spec.name = "bench";
+    spec.gpu_apps = {"ubench"};
+    spec.seeds = {11, 12, 13, 14};
+    spec.qos_thresholds = {0.0, 0.05};
+    spec.duration_ms = 4.0;
+    return spec;
+}
+
+void
+resetDir(const CampaignEngine &engine)
+{
+    const ResultCache cache(engine.cacheDir());
+    for (const std::string &key : cache.listKeys())
+        std::remove(cache.recordPath(key).c_str());
+}
+
+void
+CampaignCellKey(benchmark::State &state)
+{
+    const std::vector<ExperimentCell> cells = benchGrid().buildCells();
+    std::uint64_t digest = 0;
+    for (auto _ : state) {
+        for (const ExperimentCell &cell : cells)
+            digest ^= cellKey(cell);
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<long>(cells.size()));
+}
+BENCHMARK(CampaignCellKey)->Unit(benchmark::kMicrosecond);
+
+void
+CampaignRecordRoundTrip(benchmark::State &state)
+{
+    CellOutcome outcome;
+    outcome.ok = true;
+    outcome.result.elapsed_ms = 4.0;
+    outcome.result.ssr_irqs_per_core = {1, 2, 3, 4};
+    const std::string canonical =
+        canonicalCellText(benchGrid().buildCells()[0]);
+    for (auto _ : state) {
+        const std::string blob =
+            ResultCache::encode(canonical, outcome);
+        std::string stored;
+        const CellOutcome back = ResultCache::decode(blob, stored);
+        benchmark::DoNotOptimize(back.result.elapsed_ms);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(CampaignRecordRoundTrip)->Unit(benchmark::kMicrosecond);
+
+double
+runCampaign(const CampaignEngine &engine, bool cold)
+{
+    if (cold)
+        resetDir(engine);
+    CampaignOptions options;
+    options.jobs = 1;
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignReport report = engine.run(options);
+    benchmark::DoNotOptimize(report.executed);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+CampaignColdGrid(benchmark::State &state)
+{
+    const CampaignEngine engine("/tmp/hiss_bench_campaign");
+    engine.build(benchGrid());
+    for (auto _ : state)
+        runCampaign(engine, true);
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(CampaignColdGrid)->Unit(benchmark::kMillisecond);
+
+void
+CampaignWarmResume(benchmark::State &state)
+{
+    const CampaignEngine engine("/tmp/hiss_bench_campaign");
+    engine.build(benchGrid());
+    runCampaign(engine, true); // populate the cache once
+    for (auto _ : state)
+        runCampaign(engine, false);
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(CampaignWarmResume)->Unit(benchmark::kMillisecond);
+
+/** Cold/resume wall-clock ratio as a counter, like
+ *  SnapshotSweepSpeedup: the committed baseline carries the speedup
+ *  itself and the CI bench gate enforces >= 5x. */
+void
+CampaignResumeSpeedup(benchmark::State &state)
+{
+    const CampaignEngine engine("/tmp/hiss_bench_campaign");
+    engine.build(benchGrid());
+    double cold = 0.0;
+    double resumed = 0.0;
+    for (auto _ : state) {
+        cold += runCampaign(engine, true);
+        resumed += runCampaign(engine, false);
+    }
+    state.counters["speedup"] =
+        benchmark::Counter(resumed > 0.0 ? cold / resumed : 0.0);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(CampaignResumeSpeedup)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

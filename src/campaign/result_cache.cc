@@ -1,0 +1,194 @@
+#include "campaign/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/logging.h"
+#include "snap/snap.h"
+
+namespace hiss {
+namespace campaign {
+namespace {
+
+/** Record section name inside the snapshot frame. */
+constexpr const char *kSection = "campaign.record";
+
+/** Bump on any record-payload layout change. */
+constexpr std::uint32_t kRecordVersion = 1;
+
+void
+writeResult(snap::Writer &w, const RunResult &r)
+{
+    w.b(r.hit_time_cap);
+    w.f64(r.elapsed_ms);
+    w.f64(r.cpu_runtime_ms);
+    w.f64(r.gpu_runtime_ms);
+    w.f64(r.gpu_ssr_rate);
+    w.f64(r.cc6_fraction);
+    w.f64(r.user_l1d_miss_rate);
+    w.f64(r.user_branch_miss_rate);
+    w.f64(r.ssr_cpu_fraction);
+    w.u64(r.total_irqs);
+    w.u64(r.total_ipis);
+    w.u64(r.ssr_interrupts);
+    w.u64(r.faults_resolved);
+    w.u64(r.msis_raised);
+    w.u64(r.aborted_wavefronts);
+    w.u64(r.ssr_irqs_per_core.size());
+    for (const std::uint64_t v : r.ssr_irqs_per_core)
+        w.u64(v);
+}
+
+RunResult
+readResult(snap::Reader &r)
+{
+    RunResult out;
+    out.hit_time_cap = r.b();
+    out.elapsed_ms = r.f64();
+    out.cpu_runtime_ms = r.f64();
+    out.gpu_runtime_ms = r.f64();
+    out.gpu_ssr_rate = r.f64();
+    out.cc6_fraction = r.f64();
+    out.user_l1d_miss_rate = r.f64();
+    out.user_branch_miss_rate = r.f64();
+    out.ssr_cpu_fraction = r.f64();
+    out.total_irqs = r.u64();
+    out.total_ipis = r.u64();
+    out.ssr_interrupts = r.u64();
+    out.faults_resolved = r.u64();
+    out.msis_raised = r.u64();
+    out.aborted_wavefronts = r.u64();
+    const std::uint64_t cores = r.u64();
+    out.ssr_irqs_per_core.reserve(cores);
+    for (std::uint64_t i = 0; i < cores; ++i)
+        out.ssr_irqs_per_core.push_back(r.u64());
+    return out;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("result cache: cannot create '%s': %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ResultCache::recordPath(const std::string &key_hex) const
+{
+    return dir_ + "/" + key_hex + ".rec";
+}
+
+std::string
+ResultCache::encode(const std::string &canonical,
+                    const CellOutcome &outcome)
+{
+    snap::Writer w;
+    w.section(kSection);
+    w.u32(kRecordVersion);
+    w.str(canonical);
+    w.b(outcome.ok);
+    if (outcome.ok) {
+        writeResult(w, outcome.result);
+    } else {
+        w.str(outcome.error);
+        w.str(outcome.repro);
+    }
+    return snap::frame(w.buffer());
+}
+
+CellOutcome
+ResultCache::decode(const std::string &blob, std::string &canonical_out)
+{
+    snap::Reader r(snap::unframe(blob));
+    r.section(kSection);
+    const std::uint32_t version = r.u32();
+    if (version != kRecordVersion)
+        throw snap::SnapshotError(
+            "campaign record version " + std::to_string(version)
+            + " unsupported (expected "
+            + std::to_string(kRecordVersion) + ")");
+    canonical_out = r.str();
+    CellOutcome outcome;
+    outcome.ok = r.b();
+    if (outcome.ok) {
+        outcome.result = readResult(r);
+    } else {
+        outcome.error = r.str();
+        outcome.repro = r.str();
+    }
+    if (!r.atEnd())
+        throw snap::SnapshotError(
+            "campaign record has trailing bytes");
+    return outcome;
+}
+
+Lookup
+ResultCache::lookup(const std::string &key_hex,
+                    const std::string &canonical) const
+{
+    const std::string path = recordPath(key_hex);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec)
+        return {};
+    Lookup out;
+    std::string blob;
+    try {
+        blob = snap::readFile(path);
+        std::string stored_canonical;
+        out.outcome = decode(blob, stored_canonical);
+        if (stored_canonical != canonical) {
+            out.status = LookupStatus::Corrupt;
+            out.detail = "canonical config text mismatch (key "
+                         "collision or stale key format)";
+            out.outcome = CellOutcome{};
+            return out;
+        }
+    } catch (const snap::SnapshotError &e) {
+        out.status = LookupStatus::Corrupt;
+        out.detail = e.what();
+        out.outcome = CellOutcome{};
+        return out;
+    }
+    out.status = LookupStatus::Hit;
+    return out;
+}
+
+void
+ResultCache::store(const std::string &key_hex,
+                   const std::string &canonical,
+                   const CellOutcome &outcome) const
+{
+    snap::writeFileAtomic(recordPath(key_hex),
+                          encode(canonical, outcome));
+}
+
+void
+ResultCache::remove(const std::string &key_hex) const
+{
+    std::remove(recordPath(key_hex).c_str());
+}
+
+std::vector<std::string>
+ResultCache::listKeys() const
+{
+    std::vector<std::string> keys;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return keys;
+    for (const auto &entry : it) {
+        const std::filesystem::path &p = entry.path();
+        if (p.extension() == ".rec")
+            keys.push_back(p.stem().string());
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace campaign
+} // namespace hiss

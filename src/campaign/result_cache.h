@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache for campaign cells.
+ *
+ * One record per cell key (core/cell_key.h): `<dir>/<hex16>.rec`,
+ * framed with the snapshot integrity header (magic, version, payload
+ * length, FNV-1a checksum — snap::frame/unframe), so truncation and
+ * bit damage are detected exactly like a corrupt snapshot would be.
+ * A damaged record is never trusted: lookup reports Corrupt with the
+ * reason and the campaign re-runs the cell, overwriting the record.
+ *
+ * Records are written with write-then-rename (snap::writeFileAtomic),
+ * so a shard killed mid-store leaves either no record or a complete
+ * one — the crash-resume invariant rests on this.
+ *
+ * The payload carries the cell's canonical config text alongside the
+ * outcome; lookup cross-checks it so a key collision (or a record
+ * from an older key format) surfaces as Corrupt instead of serving a
+ * wrong result. The determinism contract makes a Hit byte-equivalent
+ * to re-running the cell.
+ */
+
+#ifndef HISS_CAMPAIGN_RESULT_CACHE_H_
+#define HISS_CAMPAIGN_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment_batch.h"
+
+namespace hiss {
+namespace campaign {
+
+/** How a cache lookup resolved. */
+enum class LookupStatus {
+    Hit,     ///< Valid record; outcome is filled in.
+    Miss,    ///< No record on disk.
+    Corrupt, ///< Record exists but is damaged; detail names why.
+};
+
+/** Result of ResultCache::lookup. */
+struct Lookup
+{
+    LookupStatus status = LookupStatus::Miss;
+    /** Valid when status == Hit. */
+    CellOutcome outcome;
+    /** Human-readable damage description when status == Corrupt. */
+    std::string detail;
+};
+
+/** Content-addressed store of per-cell outcomes under one directory. */
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory @p dir. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Path of the record for @p key_hex. */
+    std::string recordPath(const std::string &key_hex) const;
+
+    /**
+     * Look up @p key_hex, validating the integrity frame and that the
+     * stored canonical text equals @p canonical.
+     */
+    Lookup lookup(const std::string &key_hex,
+                  const std::string &canonical) const;
+
+    /**
+     * Store @p outcome under @p key_hex (atomic write-then-rename;
+     * overwrites a previous — possibly corrupt — record).
+     * @throws snap::SnapshotError on I/O failure.
+     */
+    void store(const std::string &key_hex, const std::string &canonical,
+               const CellOutcome &outcome) const;
+
+    /** Remove the record for @p key_hex if present. */
+    void remove(const std::string &key_hex) const;
+
+    /** Keys (hex stems) of every record currently on disk, sorted. */
+    std::vector<std::string> listKeys() const;
+
+    /** Serialize an outcome to the framed record representation. */
+    static std::string encode(const std::string &canonical,
+                              const CellOutcome &outcome);
+
+    /**
+     * Parse a framed record. @throws snap::SnapshotError on any
+     * structural damage (magic, version, truncation, checksum).
+     */
+    static CellOutcome decode(const std::string &blob,
+                              std::string &canonical_out);
+
+  private:
+    std::string dir_;
+};
+
+} // namespace campaign
+} // namespace hiss
+
+#endif // HISS_CAMPAIGN_RESULT_CACHE_H_

@@ -1,11 +1,13 @@
 #include "core/experiment_batch.h"
 
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/cell_key.h"
 #include "core/snapshot_cache.h"
 #include "sim/logging.h"
 
@@ -92,6 +94,32 @@ withBatchCache(const std::vector<ExperimentCell> &cells,
     return storage;
 }
 
+/**
+ * Run one cell, recording its result or failure at @p index. Every
+ * failure is captured as the live exception_ptr (runCatching later
+ * converts it to a typed reason + repro line; run() rethrows it), and
+ * every attempt — failed or not — records its host wall-clock cost.
+ */
+void
+runOne(const std::vector<ExperimentCell> &cells, std::size_t index,
+       std::vector<RunResult> &results,
+       std::vector<std::exception_ptr> &errors,
+       std::vector<double> &wall_ms)
+{
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        results[index] = runCell(cells[index]);
+    } catch (...) {
+        // Captured, not swallowed: the pointer carries the typed
+        // failure to run()/runCatching.
+        errors[index] = std::current_exception();
+    }
+    wall_ms[index] =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+}
+
 } // namespace
 
 ExperimentBatch::ExperimentBatch(int jobs) : jobs_(jobs)
@@ -105,19 +133,15 @@ ExperimentBatch::ExperimentBatch(int jobs) : jobs_(jobs)
 void
 ExperimentBatch::execute(const std::vector<ExperimentCell> &cells,
                          std::vector<RunResult> &results,
-                         std::vector<std::exception_ptr> &errors) const
+                         std::vector<std::exception_ptr> &errors,
+                         std::vector<double> &wall_ms) const
 {
     const int workers = static_cast<int>(
         std::min<std::size_t>(cells.size(),
                               static_cast<std::size_t>(jobs_)));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            try {
-                results[i] = runCell(cells[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        }
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            runOne(cells, i, results, errors, wall_ms);
         return;
     }
 
@@ -135,11 +159,7 @@ ExperimentBatch::execute(const std::vector<ExperimentCell> &cells,
                 found = queues[(self + v) % workers].stealFront(index);
             if (!found)
                 return;
-            try {
-                results[index] = runCell(cells[index]);
-            } catch (...) {
-                errors[index] = std::current_exception();
-            }
+            runOne(cells, index, results, errors, wall_ms);
         }
     };
 
@@ -159,9 +179,11 @@ ExperimentBatch::run(const std::vector<ExperimentCell> &cells) const
     if (cells.empty())
         return results;
     std::vector<std::exception_ptr> errors(cells.size());
+    std::vector<double> wall_ms(cells.size());
     SnapshotCache cache;
     std::vector<ExperimentCell> storage;
-    execute(withBatchCache(cells, cache, storage), results, errors);
+    execute(withBatchCache(cells, cache, storage), results, errors,
+            wall_ms);
     for (std::exception_ptr &err : errors)
         if (err)
             std::rethrow_exception(err);
@@ -176,18 +198,26 @@ ExperimentBatch::runCatching(const std::vector<ExperimentCell> &cells) const
         return outcomes;
     std::vector<RunResult> results(cells.size());
     std::vector<std::exception_ptr> errors(cells.size());
+    std::vector<double> wall_ms(cells.size());
     SnapshotCache cache;
     std::vector<ExperimentCell> storage;
-    execute(withBatchCache(cells, cache, storage), results, errors);
+    execute(withBatchCache(cells, cache, storage), results, errors,
+            wall_ms);
     for (std::size_t i = 0; i < cells.size(); ++i) {
+        outcomes[i].wall_ms = wall_ms[i];
         if (errors[i]) {
+            // Both arms record a reason and the seed+config repro
+            // line; a non-std::exception throw gets a typed
+            // placeholder instead of an empty string.
             try {
                 std::rethrow_exception(errors[i]);
             } catch (const std::exception &e) {
                 outcomes[i].error = e.what();
             } catch (...) {
-                outcomes[i].error = "unknown error";
+                outcomes[i].error =
+                    "unknown error (non-std::exception throw)";
             }
+            outcomes[i].repro = cellRepro(cells[i]);
         } else {
             outcomes[i].ok = true;
             outcomes[i].result = std::move(results[i]);

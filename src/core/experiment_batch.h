@@ -48,8 +48,24 @@ struct CellOutcome
     /** True when the cell completed; result is then valid. */
     bool ok = false;
     RunResult result;
-    /** The failure's what() when !ok. */
+    /**
+     * The failure reason when !ok: the exception's what(), or a
+     * typed placeholder for non-std::exception throws. Never empty
+     * on failure — every failure path records a reason.
+     */
     std::string error;
+    /**
+     * Seed + config repro line for the failing cell (cellRepro),
+     * filled on every failure path so a campaign ledger or fuzz
+     * report can name the exact rerun without the cell vector.
+     */
+    std::string repro;
+    /**
+     * Host wall-clock time this cell's run took, successful or not.
+     * Diagnostic only (per-cell containment budgets in src/campaign);
+     * never folded into simulation results.
+     */
+    double wall_ms = 0.0;
 };
 
 /** Runs experiment cells across worker threads. */
@@ -104,11 +120,13 @@ class ExperimentBatch
   private:
     /**
      * The shared engine: run every cell, capturing each failure in
-     * @p errors at the failing cell's index.
+     * @p errors at the failing cell's index and each cell's host
+     * wall-clock duration (ms) in @p wall_ms.
      */
     void execute(const std::vector<ExperimentCell> &cells,
                  std::vector<RunResult> &results,
-                 std::vector<std::exception_ptr> &errors) const;
+                 std::vector<std::exception_ptr> &errors,
+                 std::vector<double> &wall_ms) const;
 
     int jobs_;
 };

@@ -21,6 +21,8 @@
 #ifndef HISS_CORE_HISS_H_
 #define HISS_CORE_HISS_H_
 
+#include "campaign/campaign.h"
+#include "core/cell_key.h"
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/experiment_batch.h"

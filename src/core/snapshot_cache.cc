@@ -9,6 +9,12 @@ SnapshotCache::getOrBuild(const std::string &key,
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         Entry &entry = entries_[key];
+        if (entry.failed) {
+            ++failed_lookups_;
+            throw SnapshotBuildError(
+                "warm-state build previously failed for this "
+                "config: " + entry.error);
+        }
         if (entry.ready) {
             ++hits_;
             return entry.blob;
@@ -20,11 +26,25 @@ SnapshotCache::getOrBuild(const std::string &key,
             std::string blob;
             try {
                 blob = build();
-            } catch (...) {
-                // Un-claim the entry so a waiter can retry, then let
-                // the failure propagate to this cell's caller.
+            } catch (const std::exception &e) {
+                // Record the first failure's typed message so every
+                // waiter and later lookup surfaces it instead of
+                // silently re-simulating the warmup cold, then let
+                // the original propagate to this cell's caller.
                 lock.lock();
-                entries_[key].building = false;
+                Entry &failed = entries_[key];
+                failed.building = false;
+                failed.failed = true;
+                failed.error = e.what();
+                cv_.notify_all();
+                throw;
+            } catch (...) {
+                lock.lock();
+                Entry &failed = entries_[key];
+                failed.building = false;
+                failed.failed = true;
+                failed.error = "unknown error (non-std::exception "
+                               "throw)";
                 cv_.notify_all();
                 throw;
             }
@@ -39,7 +59,7 @@ SnapshotCache::getOrBuild(const std::string &key,
         cv_.wait(lock, [this, &key] {
             const auto it = entries_.find(key);
             return it == entries_.end() || it->second.ready
-                   || !it->second.building;
+                   || it->second.failed || !it->second.building;
         });
     }
 }
@@ -66,6 +86,22 @@ SnapshotCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
+}
+
+std::uint64_t
+SnapshotCache::failedLookups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failed_lookups_;
+}
+
+std::string
+SnapshotCache::failureMessage(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    return it != entries_.end() && it->second.failed ? it->second.error
+                                                     : "";
 }
 
 } // namespace hiss

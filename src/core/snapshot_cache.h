@@ -10,9 +10,16 @@
  *
  * Thread-safe: ExperimentBatch workers race on the same key. The
  * first caller becomes the builder and runs its builder function
- * outside the lock; the others block until the blob is ready. If the
- * builder throws, one waiter is promoted to builder and retries, so a
- * failed build never wedges the pool.
+ * outside the lock; the others block until the blob is ready.
+ *
+ * Failure memo: if the builder throws, the first failure's typed
+ * message is recorded in the entry and every waiter — and every
+ * later lookup of that key — fails fast with SnapshotBuildError
+ * naming it. A deterministic build failure would reproduce
+ * identically on every retry, so silently re-running the warmup
+ * (cold, per cell) only multiplies the cost and buries the original
+ * reason; failing loudly keeps the sweep's error report pointed at
+ * the first cause.
  */
 
 #ifndef HISS_CORE_SNAPSHOT_CACHE_H_
@@ -23,9 +30,20 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 
 namespace hiss {
+
+/**
+ * Thrown when a warm-state build previously failed for the requested
+ * key: carries the recorded first-failure message.
+ */
+class SnapshotBuildError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Keyed store of framed snapshot blobs with compute-once semantics. */
 class SnapshotCache
@@ -40,6 +58,10 @@ class SnapshotCache
      * if absent. Exactly one concurrent caller per key runs @p build;
      * the rest wait for its result. The returned reference stays
      * valid for the cache's lifetime (entries are never evicted).
+     * @throws SnapshotBuildError if a previous build of @p key
+     *         failed (the message names the recorded first failure);
+     *         the builder's own exception propagates unchanged to
+     *         the caller that ran it.
      */
     const std::string &getOrBuild(const std::string &key,
                                   const std::function<std::string()> &build);
@@ -53,12 +75,22 @@ class SnapshotCache
     /** Calls that had to build (== distinct keys on a clean run). */
     std::uint64_t misses() const;
 
+    /** Lookups refused because the key's build previously failed. */
+    std::uint64_t failedLookups() const;
+
+    /** The recorded failure for @p key, or "" if none. */
+    std::string failureMessage(const std::string &key) const;
+
   private:
     struct Entry
     {
         bool ready = false;
         bool building = false;
+        /** Set once, by the first failing builder. */
+        bool failed = false;
         std::string blob;
+        /** The first failure's typed message when failed. */
+        std::string error;
     };
 
     mutable std::mutex mutex_;
@@ -67,6 +99,7 @@ class SnapshotCache
     std::map<std::string, Entry> entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t failed_lookups_ = 0;
 };
 
 } // namespace hiss

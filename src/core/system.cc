@@ -210,7 +210,7 @@ HeteroSystem::restoreSnapshotBytes(const std::string &blob)
 void
 HeteroSystem::saveSnapshotFile(const std::string &path) const
 {
-    snap::writeFile(path, snapshotBytes());
+    snap::writeFileAtomic(path, snapshotBytes());
 }
 
 void

@@ -224,6 +224,20 @@ writeFile(const std::string &path, const std::string &blob)
         throw SnapshotError("short write to '" + path + "'");
 }
 
+void
+writeFileAtomic(const std::string &path, const std::string &blob)
+{
+    // The temporary lives in the target's directory so the rename
+    // cannot cross a filesystem boundary (rename(2) atomicity).
+    const std::string tmp = path + ".tmp";
+    writeFile(tmp, blob);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename '" + tmp + "' to '" + path
+                            + "'");
+    }
+}
+
 std::string
 readFile(const std::string &path)
 {

@@ -263,6 +263,16 @@ std::string unframe(const std::string &blob);
 /** Write @p blob to @p path; throws SnapshotError on I/O failure. */
 void writeFile(const std::string &path, const std::string &blob);
 
+/**
+ * Write @p blob to @p path atomically: the bytes land in a
+ * same-directory temporary first and are renamed into place, so a
+ * reader (or a process killed mid-write) sees either the complete
+ * old file or the complete new file, never a torn prefix. The
+ * campaign result cache and snapshot saves both depend on this.
+ * @throws SnapshotError on I/O failure.
+ */
+void writeFileAtomic(const std::string &path, const std::string &blob);
+
 /** Read @p path fully; throws SnapshotError on I/O failure. */
 std::string readFile(const std::string &path);
 

@@ -1,0 +1,47 @@
+// LINT_FIXTURE_AS: src/core/bare_catch_clean.cc
+// Negative fixture: every handler either rethrows, captures the
+// exception, or records a typed reason. Must lint clean.
+
+#include <exception>
+#include <string>
+
+namespace fixture {
+
+int runOnce();
+
+int
+capturedForLater(std::exception_ptr &slot)
+{
+    try {
+        return runOnce();
+    } catch (...) {
+        slot = std::current_exception();
+    }
+    return 0;
+}
+
+int
+rethrown()
+{
+    try {
+        return runOnce();
+    } catch (...) {
+        throw;
+    }
+}
+
+int
+typedReason(std::string &error_out)
+{
+    try {
+        return runOnce();
+    } catch (const std::exception &e) {
+        error_out = e.what();
+    } catch (...) {
+        error_out = "unknown error (non-std::exception throw)";
+        return -1;
+    }
+    return 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// LINT_FIXTURE_AS: src/core/bare_catch_violation.cc
+// Positive fixture: catch (...) arms that erase the failure — no
+// rethrow, no recorded reason. Each is the swallow-and-continue
+// pattern the robustness contract bans from src/.
+
+namespace fixture {
+
+int runOnce();
+
+int
+swallowAndContinue()
+{
+    int total = 0;
+    for (int i = 0; i < 4; ++i) {
+        try {
+            total += runOnce();
+        } catch (...) {
+            // Nothing recorded: this cell's outcome is silently lost.
+        }
+    }
+    return total;
+}
+
+bool
+swallowReturnDefault()
+{
+    try {
+        return runOnce() > 0;
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace fixture

@@ -148,6 +148,15 @@ TEST(ExperimentBatch, RunCatchingCapturesPerCellOutcomes)
     EXPECT_NE(outcomes[1].error.find("not-a-benchmark"),
               std::string::npos)
         << outcomes[1].error;
+    // Every failure carries a seed + config repro line, and every
+    // outcome a host wall-clock duration (campaign containment).
+    EXPECT_NE(outcomes[1].repro.find("seed=82"), std::string::npos)
+        << outcomes[1].repro;
+    EXPECT_NE(outcomes[1].repro.find("not-a-benchmark"),
+              std::string::npos)
+        << outcomes[1].repro;
+    EXPECT_TRUE(outcomes[0].repro.empty());
+    EXPECT_GT(outcomes[0].wall_ms, 0.0);
     EXPECT_TRUE(outcomes[2].ok);
     // Successful outcomes match the serial runner bit-identically.
     expectIdentical(outcomes[0].result,

@@ -293,6 +293,10 @@ TEST(SnapshotWarmStart, CacheComputesOncePerKey)
 
 TEST(SnapshotWarmStart, FailedBuildDoesNotWedgeTheKey)
 {
+    // A failed build must not leave waiters hung on the key; it is
+    // memoized and every later lookup gets a loud typed error
+    // carrying the original reason instead of silently retrying a
+    // build that is known to fail.
     SnapshotCache cache;
     EXPECT_THROW(cache.getOrBuild(
                      "k",
@@ -300,9 +304,17 @@ TEST(SnapshotWarmStart, FailedBuildDoesNotWedgeTheKey)
                          throw std::runtime_error("boom");
                      }),
                  std::runtime_error);
-    const std::string &ok =
+    try {
         cache.getOrBuild("k", [] { return std::string("second"); });
-    EXPECT_EQ(ok, "second");
+        FAIL() << "memoized failure should have surfaced";
+    } catch (const SnapshotBuildError &err) {
+        EXPECT_NE(std::string(err.what()).find("boom"),
+                  std::string::npos)
+            << err.what();
+    }
+    // Other keys are unaffected.
+    EXPECT_EQ(cache.getOrBuild("k2", [] { return std::string("ok"); }),
+              "ok");
 }
 
 } // namespace

@@ -32,6 +32,15 @@
 #                                      plus the substrate-equivalence
 #                                      suites, proving the scalar
 #                                      fallback has not rotted)
+#        tools/ci.sh campaign [preset...]
+#                                     (crash-drill leg, default presets
+#                                      default check asan: shard a grid
+#                                      across two hiss_campaign
+#                                      processes, SIGKILL one mid-
+#                                      flight, resume it, and require
+#                                      the merged CSV byte-identical
+#                                      to an uninterrupted reference
+#                                      run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -81,7 +90,7 @@ if [ "${1-}" = "bench" ]; then
     cmake --preset default
     cmake --build --preset default -j "$jobs" \
         --target microbench_substrate microbench_event_queue \
-                 microbench_snapshot
+                 microbench_snapshot microbench_campaign
     bench_flags=(--benchmark_format=json --benchmark_min_time=0.5
                  --benchmark_repetitions=3
                  --benchmark_report_aggregates_only=true)
@@ -93,6 +102,8 @@ if [ "${1-}" = "bench" ]; then
         > "$tmpdir/BENCH_event_queue.json"
     build-default/bench/microbench_snapshot "${bench_flags[@]}" \
         > "$tmpdir/BENCH_snapshot.json"
+    build-default/bench/microbench_campaign "${bench_flags[@]}" \
+        > "$tmpdir/BENCH_campaign.json"
 
     # The warm-start engine must keep paying for itself: the
     # cold/warm sweep ratio recorded by SnapshotSweepSpeedup has to
@@ -110,17 +121,36 @@ if [ "${1-}" = "bench" ]; then
         exit 1
     fi
 
+    # The campaign result cache must keep paying for itself: the
+    # cold-grid/cache-hit-resume ratio recorded by
+    # CampaignResumeSpeedup has to stay at 5x or better (ISSUE 9's
+    # acceptance floor).
+    if ! awk '
+        /"name":/ { gsub(/[",]/, ""); name = $2 }
+        /"speedup":/ {
+            gsub(/,/, "")
+            if (name ~ /CampaignResumeSpeedup/ && name ~ /_median$/) {
+                printf "ci: bench campaign resume speedup %.2fx\n", $2
+                if ($2 + 0 < 5.0) exit 1
+            }
+        }' "$tmpdir/BENCH_campaign.json"; then
+        echo "ci: bench FAILED: campaign resume speedup fell below 5x"
+        exit 1
+    fi
+
     if $update; then
         cp "$tmpdir/BENCH_substrate.json" BENCH_substrate.json
         cp "$tmpdir/BENCH_event_queue.json" BENCH_event_queue.json
         cp "$tmpdir/BENCH_snapshot.json" BENCH_snapshot.json
+        cp "$tmpdir/BENCH_campaign.json" BENCH_campaign.json
         echo "ci: bench baselines rewritten (BENCH_substrate.json," \
-             "BENCH_event_queue.json, BENCH_snapshot.json)"
+             "BENCH_event_queue.json, BENCH_snapshot.json," \
+             "BENCH_campaign.json)"
         exit 0
     fi
 
     fail=0
-    for b in substrate event_queue snapshot; do
+    for b in substrate event_queue snapshot campaign; do
         base="BENCH_$b.json"
         fresh="$tmpdir/BENCH_$b.json"
         if [ ! -f "$base" ]; then
@@ -255,6 +285,87 @@ if [ "${1-}" = "nosimd" ]; then
     exit 0
 fi
 
+# `campaign` mode: the crash-resume drill (docs/TESTING.md "Campaign
+# sweeps"). Two shards split an 8-cell grid; shard 0 is SIGKILLed the
+# moment its first result record lands, then resumed. The engine's
+# contract — write-then-rename records, content-addressed keys,
+# resume-by-cache-scan — makes the merged CSV byte-identical to an
+# uninterrupted reference run; tools/trace_diff reports the first
+# divergence if it is not.
+run_campaign() {
+    local preset="${1:-default}"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$jobs" \
+        --target hiss_campaign trace_diff
+    local camp="build-$preset/tools/hiss_campaign"
+    local differ="build-$preset/tools/trace_diff"
+    local tmpdir
+    tmpdir=$(mktemp -d)
+    # Cells long enough (~40 ms wall each) that the SIGKILL lands
+    # while the victim still has work in flight.
+    local grid="--gpu ubench --seeds 4 --qos 0,0.05 --duration 40"
+
+    # Reference: the same grid, never interrupted.
+    # shellcheck disable=SC2086
+    $camp build --dir "$tmpdir/ref" $grid
+    $camp run --dir "$tmpdir/ref" --jobs 2
+    $camp merge --dir "$tmpdir/ref" --out "$tmpdir/ref.csv"
+
+    # Crash drill: SIGKILL shard 0 once its first record is on disk.
+    # shellcheck disable=SC2086
+    $camp build --dir "$tmpdir/drill" $grid
+    $camp run --dir "$tmpdir/drill" --shard 0/2 --jobs 1 \
+        > /dev/null &
+    local victim=$!
+    local tries=0
+    until ls "$tmpdir/drill/cache/"*.rec > /dev/null 2>&1; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 3000 ]; then
+            echo "ci: campaign leg FAILED: no record ever appeared"
+            kill -9 "$victim" 2> /dev/null || true
+            rm -rf "$tmpdir"
+            exit 1
+        fi
+        sleep 0.01
+    done
+    kill -9 "$victim" 2> /dev/null || true
+    wait "$victim" 2> /dev/null || true
+
+    # Resume the killed shard (it must serve at least one cell from
+    # the cache — the records the victim committed survive the kill),
+    # run the sibling shard, and merge.
+    $camp resume --dir "$tmpdir/drill" --shard 0/2 --jobs 1 \
+        | tee "$tmpdir/resume.out"
+    grep -q "cached=[1-9]" "$tmpdir/resume.out" || {
+        echo "ci: campaign leg FAILED: resume served nothing from" \
+             "the cache"
+        rm -rf "$tmpdir"
+        exit 1
+    }
+    $camp run --dir "$tmpdir/drill" --shard 1/2 --jobs 2
+    $camp merge --dir "$tmpdir/drill" --out "$tmpdir/drill.csv"
+    $differ "$tmpdir/ref.csv" "$tmpdir/drill.csv" || {
+        echo "ci: campaign leg FAILED: resumed merge diverged from" \
+             "the uninterrupted reference"
+        rm -rf "$tmpdir"
+        exit 1
+    }
+    rm -rf "$tmpdir"
+    echo "ci: campaign leg ($preset) crash-drill byte-identical"
+}
+if [ "${1-}" = "campaign" ]; then
+    shift
+    legs=("$@")
+    if [ "${#legs[@]}" -eq 0 ]; then
+        legs=(default check asan)
+    fi
+    for p in "${legs[@]}"; do
+        run_campaign "$p"
+    done
+    echo "ci: campaign leg passed (${legs[*]})"
+    exit 0
+fi
+
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
     presets=(default check asan tsan)
@@ -274,6 +385,10 @@ for p in "${presets[@]}"; do
     if [ "$p" = "asan" ]; then
         ctest --test-dir "build-$p" --output-on-failure -L fault
     fi
+    # The crash-resume drill rides the presets it is specified for.
+    case "$p" in
+      default|check|asan) run_campaign "$p" ;;
+    esac
 done
 
 # The full sweep also exercises the portable-kernel build and the

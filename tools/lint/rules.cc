@@ -642,6 +642,79 @@ checkSimdGate(const Rule &rule, const FileContext &file,
     }
 }
 
+// ---------------------------------------------------------------------
+// Rule: bare-catch
+//
+// catch (...) that neither rethrows nor records a reason erases the
+// failure: the run continues (or returns a default) with no trace of
+// what went wrong, which is how a campaign cell "succeeds" with junk
+// or a snapshot silently re-simulates cold. Applies to all of src/ —
+// the robustness contract, unlike the determinism rules, is not
+// limited to the simulation layers. A handler counts as compliant if
+// its body contains a throw (rethrow) or touches an identifier that
+// plausibly records the reason (error/what/message/...). Accepted
+// blind spot: a handler that names `error` but assigns it nothing
+// useful still passes — the rule is a tripwire, not a verifier.
+// ---------------------------------------------------------------------
+
+bool
+recordsReason(const std::string &ident)
+{
+    static const char *const kMarkers[] = {
+        "error",  "reason", "what",  "message", "exception",
+        "fail",   "panic",  "fatal", "warn",    "repro",
+        "ledger", "log"};
+    std::string lower;
+    lower.reserve(ident.size());
+    for (const char c : ident)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    for (const char *marker : kMarkers) {
+        if (lower.find(marker) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+checkBareCatch(const Rule &rule, const FileContext &file,
+               std::vector<Finding> &out)
+{
+    if (file.path.rfind("src/", 0) != 0)
+        return;
+    const Tokens &toks = file.tokens();
+    for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
+        // "..." lexes as three '.' puncts.
+        if (!(isIdent(toks[i], "catch") && isPunct(toks[i + 1], "(")
+              && isPunct(toks[i + 2], ".") && isPunct(toks[i + 3], ".")
+              && isPunct(toks[i + 4], ".") && isPunct(toks[i + 5], ")")))
+            continue;
+        std::size_t body = i + 6;
+        if (body >= toks.size() || !isPunct(toks[body], "{"))
+            continue; // malformed; the compiler will complain
+        bool handled = false;
+        int depth = 0;
+        std::size_t j = body;
+        for (; j < toks.size(); ++j) {
+            if (isPunct(toks[j], "{")) {
+                ++depth;
+            } else if (isPunct(toks[j], "}")) {
+                if (--depth == 0)
+                    break;
+            } else if (toks[j].kind == TokKind::Identifier
+                       && (toks[j].text == "throw"
+                           || recordsReason(toks[j].text))) {
+                handled = true;
+            }
+        }
+        if (!handled)
+            out.push_back(self(rule).make(
+                file, toks[i].line,
+                "catch (...) neither rethrows nor records a failure "
+                "reason — the error is erased"));
+    }
+}
+
 void
 addRule(Registry &reg, std::string name, Severity severity,
         std::string description, std::string hint,
@@ -700,6 +773,12 @@ Registry::standard()
             "wrap the code in #if defined(HISS_SIMD_X86) ... #endif "
             "(see src/mem/cache_simd_*.cc)",
             checkSimdGate);
+    addRule(reg, "bare-catch", Severity::Error,
+            "every catch (...) in src/ rethrows or records a failure "
+            "reason (the robustness contract: no erased errors)",
+            "rethrow with `throw;`, capture std::current_exception(), "
+            "or record a typed reason (see CellOutcome::error)",
+            checkBareCatch);
     return reg;
 }
 

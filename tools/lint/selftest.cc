@@ -126,7 +126,9 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixture{"stat-name", "stat_name_violation.cc",
                     "stat_name_clean.cc", 4},
         RuleFixture{"simd-gate", "simd_gate_violation.cc",
-                    "simd_gate_clean.cc", 3}),
+                    "simd_gate_clean.cc", 3},
+        RuleFixture{"bare-catch", "bare_catch_violation.cc",
+                    "bare_catch_clean.cc", 2}),
     [](const ::testing::TestParamInfo<RuleFixture> &param_info) {
         std::string name = param_info.param.rule;
         std::replace(name.begin(), name.end(), '-', '_');
@@ -136,7 +138,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(LintRegistry, EveryRuleHasDescriptionAndHint)
 {
     const Registry registry = Registry::standard();
-    EXPECT_GE(registry.rules().size(), 7U);
+    EXPECT_GE(registry.rules().size(), 8U);
     for (const auto &rule : registry.rules()) {
         EXPECT_FALSE(rule->name().empty());
         EXPECT_FALSE(rule->description().empty()) << rule->name();
