@@ -86,6 +86,9 @@ struct ExperimentConfig
      * cache. Ignored for check_invariants cells: the invariant
      * monitor's ledgers cannot cross a snapshot boundary.
      */
+    // HISS_STATE_EXEMPT(snapshot_cache, cellkey): caching policy only;
+    // it cannot change simulated behaviour, so cells differing in it
+    // deliberately share one result-cache key
     SnapshotCache *snapshot_cache = nullptr;
 };
 

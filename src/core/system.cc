@@ -235,6 +235,7 @@ HeteroSystem::stateHash() const
         h.mix(app->stateHash());
     if (faults_ != nullptr)
         h.mix(faults_->stateHash());
+    snap::Access::hash(h, stats_);
     return h.value();
 }
 

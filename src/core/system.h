@@ -159,23 +159,34 @@ class HeteroSystem
     /** Composite event-tag resolver covering every subsystem. */
     EventQueue::Callback resolveTag(const snap::Tag &tag);
 
+    // HISS_STATE_EXEMPT(config_): construction config; snapshots carry
+    // its fingerprint and restore refuses a mismatched system
     SystemConfig config_;
     EventQueue events_;
     StatRegistry stats_;
+    // HISS_STATE_EXEMPT(ctx_): wiring; bundles borrowed clock/stats/rng
+    // handles that are re-bound at construction
     SimContext ctx_;
     // Constructed before (and destroyed after) every component that
     // queries it through SimContext::faults.
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Kernel> kernel_;
     std::unique_ptr<Iommu> iommu_;
+    // HISS_STATE_EXEMPT(ssr_driver_): borrowed pointer; the kernel owns
+    // and serializes the driver through its driver table
     SsrDriver *ssr_driver_ = nullptr;       // Owned by the kernel.
     std::unique_ptr<SignalQueue> signal_queue_;
+    // HISS_STATE_EXEMPT(signal_driver_): borrowed pointer; the kernel
+    // owns and serializes the driver through its driver table
     SsrDriver *signal_driver_ = nullptr;    // Owned by the kernel.
     std::unique_ptr<Gpu> gpu_;
     std::vector<std::unique_ptr<Gpu>> extra_gpus_;
     std::vector<std::unique_ptr<CpuApp>> apps_;
     // Declared last: the monitor observes every other subsystem, so
     // it must be destroyed first.
+    // HISS_STATE_EXEMPT(monitor_, hash): diagnostic cross-check state;
+    // kept out of the divergence hash so check-mode and fast-mode
+    // systems hash identically
     std::unique_ptr<check::InvariantMonitor> monitor_;
 };
 

@@ -585,6 +585,19 @@ saveBurst(snap::Writer &w, const BurstRequest &b)
     w.f64(b.base_cpi);
 }
 
+void
+hashBurst(snap::Hash64 &h, const BurstRequest &b)
+{
+    h.mix(static_cast<std::uint64_t>(b.kind));
+    h.mix(b.instructions);
+    h.mix(b.duration);
+    h.mix(b.kernel_mode ? 1 : 0);
+    h.mix(b.ssr_work ? 1 : 0);
+    h.mix(b.mem_accesses);
+    h.mix(b.branches);
+    h.mixDouble(b.base_cpi);
+}
+
 BurstRequest
 restoreBurst(snap::Reader &r)
 {
@@ -755,6 +768,8 @@ CpuCore::stateHash() const
     snap::Access::hash(h, rng());
     h.mix(l1d_.stateHash());
     h.mix(bp_.stateHash());
+    snap::Access::hash(h, kernel_astream_);
+    snap::Access::hash(h, kernel_bstream_);
     h.mix(pending_kfp_accesses_);
     h.mix(pending_kfp_branches_);
     h.mix(static_cast<std::uint64_t>(state_));
@@ -764,6 +779,7 @@ CpuCore::stateHash() const
     h.mix(pending_overhead_);
     h.mix(burst_overhead_);
     h.mix(burst_active_ ? 1 : 0);
+    hashBurst(h, burst_);
     h.mix(burst_start_);
     h.mix(burst_duration_);
     h.mix(burst_instructions_);

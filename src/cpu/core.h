@@ -309,8 +309,14 @@ class CpuCore : public SimObject
     /** Run the accumulated kernel footprint through the L1D/BP. */
     void flushKernelFootprint();
 
+    // HISS_STATE_EXEMPT(index_): identity; the kernel saves cores in
+    // index order and restores each onto the same slot
     int index_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     CpuCoreParams params_;
+    // HISS_STATE_EXEMPT(clock_): structural; tick scaling fixed by the
+    // core's construction parameters
     Clock clock_;
     CoreListener &listener_;
 
@@ -324,7 +330,11 @@ class CpuCore : public SimObject
     /** Reusable burst-sample buffers for the batched substrate path
      *  (filled by the streams, consumed by the L1D/BP batch kernels;
      *  sized to the largest footprint seen, never shrunk). */
+    // HISS_STATE_EXEMPT(addr_scratch_): scratch; contents are dead
+    // outside a single burst computation
     std::vector<Addr> addr_scratch_;
+    // HISS_STATE_EXEMPT(branch_scratch_): scratch; contents are dead
+    // outside a single burst computation
     std::vector<BranchStream::Outcome> branch_scratch_;
 
     /** Scaled kernel-footprint work accumulated but not yet driven

@@ -113,12 +113,17 @@ class FaultInjector : public SimObject
     /// @}
 
   private:
+    // HISS_STATE_EXEMPT(plan_): construction config (the fault plan),
+    // fingerprinted alongside the experiment config
     FaultPlan plan_;
 
     std::unordered_map<const void *, std::unordered_set<std::uint64_t>>
         loss_ledger_;
     /** Stable source names for ledger serialization (name-sorted). */
     std::map<std::string, const void *> sources_by_name_;
+    // HISS_STATE_EXEMPT(source_names_, restore hash): registration-time
+    // reverse map; save emits it so restore can verify the same sources
+    // re-registered — nothing to reassign, no dynamic state to hash
     std::unordered_map<const void *, std::string> source_names_;
 
     std::uint64_t pprs_overflowed_ = 0;

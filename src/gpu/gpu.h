@@ -188,10 +188,16 @@ class Gpu : public SimObject
     void releaseSlot();
 
     Iommu &iommu_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     GpuParams params_;
+    // HISS_STATE_EXEMPT(workload_): construction config (workload
+    // shape), covered by the snapshot config fingerprint
     GpuWorkloadParams workload_;
     bool demand_paging_ = true;
     bool loop_ = false;
+    // HISS_STATE_EXEMPT(on_kernel_complete_): callback; re-armed by its
+    // registrar after construction, never serialized
     std::function<void()> on_kernel_complete_;
 
     Phase phase_ = Phase::Idle;
@@ -201,7 +207,11 @@ class Gpu : public SimObject
 
     /** True while resetForLaunch collects translates into
      *  batch_reqs_ for one translateBatch hand-off. */
+    // HISS_STATE_EXEMPT(batching_): transient; true only synchronously
+    // inside resetForLaunch, always false at a snapshot boundary
     bool batching_ = false;
+    // HISS_STATE_EXEMPT(batch_reqs_): transient; drained in the same
+    // resetForLaunch scope that fills it, empty at any boundary
     std::vector<Iommu::TranslateRequest> batch_reqs_;
 
     Vpn next_new_vpn_ = 0;

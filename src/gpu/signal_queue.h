@@ -89,7 +89,11 @@ class SignalQueue : public SimObject, public RequestSource
     int pickTarget();
 
     Kernel &kernel_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     SignalQueueParams params_;
+    // HISS_STATE_EXEMPT(driver_): wiring; borrowed driver pointer
+    // re-attached via setDriver during system construction
     SsrDriver *driver_ = nullptr;
     std::deque<SsrRequest> queue_;
     bool irq_inflight_ = false;

@@ -220,7 +220,11 @@ class Iommu : public SimObject, public RequestSource
 
     Kernel &kernel_;
     AddressSpaceDirectory &spaces_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     IommuParams params_;
+    // HISS_STATE_EXEMPT(driver_): wiring; borrowed driver pointer
+    // re-attached via setDriver during system construction
     SsrDriver *driver_ = nullptr;
 
     // IOTLB: FIFO-replacement set of recently used translations,
@@ -232,6 +236,8 @@ class Iommu : public SimObject, public RequestSource
     // is one array read instead of a list pop.
     std::vector<Vpn> iotlb_slots_;
     std::vector<Vpn> iotlb_ring_;
+    // HISS_STATE_EXEMPT(iotlb_mask_): derived geometry (slot count - 1),
+    // recomputed from params at construction
     std::uint32_t iotlb_mask_ = 0;
     std::uint32_t iotlb_head_ = 0;
     std::uint32_t iotlb_size_ = 0;

@@ -56,6 +56,9 @@ class AddressSpaceDirectory
     }
 
   private:
+    // HISS_STATE_EXEMPT(spaces_): serialized through forEach/table
+    // visitation in snap::Access; the analyzer cannot see through the
+    // accessor
     std::map<Pasid, std::unique_ptr<PageTable>> spaces_;
 };
 

@@ -91,7 +91,11 @@ class AddressStream
   private:
     friend struct snap::Access;
 
+    // HISS_STATE_EXEMPT(profile_): construction config (access mix),
+    // covered by the snapshot config fingerprint
     MemoryProfile profile_;
+    // HISS_STATE_EXEMPT(base_): structural; base address fixed at
+    // construction
     Addr base_;
     Rng rng_;
     Addr cursor_; // Sequential-walk position within the cold region.
@@ -132,9 +136,15 @@ class BranchStream
   private:
     friend struct snap::Access;
 
+    // HISS_STATE_EXEMPT(profile_): construction config (branch mix),
+    // covered by the snapshot config fingerprint
     BranchProfile profile_;
+    // HISS_STATE_EXEMPT(pc_base_): structural; PC base fixed at
+    // construction
     Addr pc_base_;
     Rng rng_;
+    // HISS_STATE_EXEMPT(biases_): drawn at construction from the
+    // profile seed; a rebuilt stream reproduces them identically
     std::vector<double> biases_; // Per-site taken probability.
 };
 

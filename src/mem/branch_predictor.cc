@@ -122,6 +122,8 @@ BranchPredictor::stateHash() const
     for (const std::uint8_t counter : table_)
         mix(counter);
     mix(history_);
+    mix(lookups_);
+    mix(mispredicts_);
     return h;
 }
 

@@ -111,8 +111,14 @@ class BranchPredictor
 
     std::uint32_t index(Addr pc) const;
 
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     BranchPredictorParams params_;
+    // HISS_STATE_EXEMPT(mask_): derived geometry, recomputed from
+    // params at construction
     std::uint32_t mask_;
+    // HISS_STATE_EXEMPT(hist_mask_): derived geometry, recomputed from
+    // params at construction
     std::uint32_t hist_mask_;
     std::uint32_t history_ = 0;
     std::vector<std::uint8_t> table_; // 2-bit counters, init weakly taken.

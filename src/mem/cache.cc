@@ -245,6 +245,9 @@ Cache::stateHash() const
         mix(lru_[i]);
     }
     mix(use_clock_);
+    mix(accesses_);
+    mix(misses_);
+    mix(flushes_);
     return h;
 }
 

@@ -137,8 +137,14 @@ class Cache
     std::uint32_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     CacheParams params_;
+    // HISS_STATE_EXEMPT(num_sets_): derived geometry, recomputed from
+    // params at construction
     std::uint32_t num_sets_;
+    // HISS_STATE_EXEMPT(line_shift_): derived geometry, recomputed from
+    // params at construction
     std::uint32_t line_shift_;
 
     // Split arrays, both num_sets_ * assoc entries, set-major.

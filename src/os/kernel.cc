@@ -348,7 +348,9 @@ Kernel::stateHash() const
         h.mix(static_cast<std::uint64_t>(thread->id()));
         snap::Access::hash(h, *thread);
     }
-    h.mix(frames_.allocatedFrames());
+    snap::Access::hash(h, frames_);
+    snap::Access::hash(h, spaces_);
+    snap::Access::hash(h, proc_stats_);
     h.mix(scheduler_->stateHash());
     h.mix(services_->stateHash());
     h.mix(work_queue_->stateHash());

@@ -164,6 +164,8 @@ class Kernel : public SimObject, public CoreListener
     void fireHousekeeping(int core_index);
     Irq makeHousekeepingIrq();
 
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     KernelParams params_;
     std::vector<std::unique_ptr<CpuCore>> cores_;
     ProcStats proc_stats_;

@@ -46,6 +46,8 @@ class ProcStats
   private:
     friend struct snap::Access;
 
+    // HISS_STATE_EXEMPT(num_cores_): structural; per-core vector width
+    // fixed at construction
     std::size_t num_cores_;
     std::map<std::string, std::vector<std::uint64_t>> counts_;
 };

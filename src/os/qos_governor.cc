@@ -211,6 +211,7 @@ QosGovernor::stateHash() const
     h.mixDouble(fraction_);
     h.mix(sleeping_next_ ? 1 : 0);
     h.mix(static_cast<std::uint64_t>(bucket_));
+    h.mix(static_cast<std::uint64_t>(bucket_cap_));
     h.mix(last_bucket_update_);
     h.mix(last_ssr_ticks_);
     h.mix(delays_applied_);

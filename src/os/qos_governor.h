@@ -166,7 +166,11 @@ class QosGovernor : public SimObject, public ExecutionModel
     void updateBucket();
     Tick totalSsrTicks() const;
 
+    // HISS_STATE_EXEMPT(cores_): wiring; borrowed core pointers bound
+    // at construction
     std::vector<CpuCore *> cores_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     QosParams params_;
 
     struct Sample

@@ -122,7 +122,11 @@ class Scheduler : public SimObject
     void sendReschedIpi(CpuCore &target);
     void maybePreempt(CpuCore &target, Thread *waker, CpuCore *from);
 
+    // HISS_STATE_EXEMPT(cores_): wiring; borrowed core pointers bound
+    // at construction
     std::vector<CpuCore *> cores_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     SchedulerParams params_;
     std::vector<std::deque<Thread *>> queues_;
     std::vector<bool> resched_pending_;

@@ -40,6 +40,9 @@ const char *serviceKindName(ServiceKind kind);
 /** One service request as it travels down the handling chain. */
 struct SsrRequest
 {
+    // HISS_STATE_EXEMPT(SsrRequest, hash): hashed by the owning driver
+    // and queues through the identity fields saved here; a per-request
+    // hash method would duplicate that coverage
     std::uint64_t id = 0;
     ServiceKind kind = ServiceKind::PageFault;
     /** Requesting process address space (IOMMU PPRs carry PASIDs). */
@@ -53,12 +56,16 @@ struct SsrRequest
     /** When the bottom half queued the bulk work (step 4b). */
     Tick queued_at = 0;
     /** Device-side completion callback (step 6 in Fig. 1). */
+    // HISS_STATE_EXEMPT(on_service_complete, save restore): callback;
+    // travels as the origin tag and is rebuilt by RequestRebuild
     std::function<void(CpuCore &)> on_service_complete;
     /**
      * Device-side abort callback: runs instead of
      * on_service_complete when the driver watchdog gives up on the
      * request (fault injection). May be empty.
      */
+    // HISS_STATE_EXEMPT(on_abort, save restore): callback; travels as
+    // the origin tag and is rebuilt by RequestRebuild
     std::function<void()> on_abort;
     /**
      * Snapshot identity of the device-side callbacks: which producer
@@ -173,10 +180,14 @@ class SystemServices : public SimObject
 
     AddressSpaceDirectory &spaces_;
     FrameAllocator &frames_;
+    // HISS_STATE_EXEMPT(costs_): construction config (service-cost
+    // table), covered by the snapshot config fingerprint
     ServiceCostParams costs_;
     std::uint64_t serviced_by_kind_[5] = {0, 0, 0, 0, 0};
     std::uint64_t total_serviced_ = 0;
     Distribution &latency_;
+    // HISS_STATE_EXEMPT(stages_): aliases distributions owned by the
+    // stat registry, which serializes and hashes them
     SsrStageStats stages_;
 };
 

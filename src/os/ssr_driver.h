@@ -171,11 +171,16 @@ class SsrDriver : public SimObject
     void armWatchdog(std::uint64_t id);
     void onWatchdog(std::uint64_t id);
 
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     SsrDriverParams params_;
     RequestSource &source_;
     SystemServices &services_;
     WorkQueue &work_queue_;
     Scheduler &scheduler_;
+    // HISS_STATE_EXEMPT(bh_thread_): wiring; the bottom-half thread is
+    // owned and serialized by the kernel thread table, re-attached via
+    // setBottomHalfThread at construction
     Thread *bh_thread_ = nullptr;
     BottomHalfModel bh_model_;
 
@@ -185,6 +190,8 @@ class SsrDriver : public SimObject
     std::uint64_t requests_drained_ = 0;
     std::uint64_t requests_aborted_ = 0;
     std::uint64_t completions_suppressed_ = 0;
+    // HISS_STATE_EXEMPT(snap_index_): identity; assigned once when the
+    // kernel attaches the driver, reassigned identically on rebuild
     std::uint64_t snap_index_ = 0;
 };
 

@@ -186,9 +186,17 @@ class Thread
     /** Snapshot layer serializes the dynamic fields. */
     friend struct snap::Access;
 
+    // HISS_STATE_EXEMPT(id_): identity; the kernel's thread-table
+    // serialization saves ids and verifies them on restore
     int id_;
+    // HISS_STATE_EXEMPT(name_): identity; fixed at spawn, covered by
+    // the kernel's thread-table verification
     std::string name_;
+    // HISS_STATE_EXEMPT(prio_): identity; fixed at spawn, covered by
+    // the kernel's thread-table verification
     Priority prio_;
+    // HISS_STATE_EXEMPT(model_): wiring; back-pointer to the execution
+    // model that registered this thread, re-bound at construction
     ExecutionModel *model_;
     int affinity_;
     ThreadState state_ = ThreadState::Created;

@@ -59,26 +59,43 @@ struct WorkItemSnap
 /** One deferred unit of kernel work. */
 struct WorkItem
 {
+    // HISS_STATE_EXEMPT(WorkItem, hash): hashed by the owning
+    // WorkQueue through the snap identity, duration and queue stamp;
+    // a per-item hash method would duplicate that coverage
     /** CPU time needed to service the item. */
     Tick duration = 0;
     /** Invoked on the servicing core when the item completes. */
+    // HISS_STATE_EXEMPT(on_complete, save restore): callback; rebuilt
+    // by SystemServices::rebuildWorkItem from the snap identity
     std::function<void(CpuCore &)> on_complete;
     /** Invoked when a kworker picks the item up (stage latency). */
+    // HISS_STATE_EXEMPT(on_service_start, save restore): callback;
+    // rebuilt by SystemServices::rebuildWorkItem from the snap identity
     std::function<void(Tick)> on_service_start;
     /**
      * Kernel footprint driven through the servicing core's L1D/BP:
      * distinct lines touched and dynamic branches executed.
      */
+    // HISS_STATE_EXEMPT(footprint_accesses, save restore): derived;
+    // recomputed by rebuildWorkItem from the snap identity
     std::uint32_t footprint_accesses = 96;
+    // HISS_STATE_EXEMPT(footprint_branches, save restore): derived;
+    // recomputed by rebuildWorkItem from the snap identity
     std::uint32_t footprint_branches = 700;
     /** True if this item is SSR work (QoS accounting + throttling). */
+    // HISS_STATE_EXEMPT(ssr, save restore): derived; recomputed by
+    // rebuildWorkItem from the snap identity
     bool ssr = true;
     /** Set by the queue on push; used for latency stats. */
     Tick enqueued_at = 0;
     /** Kworker pickup stamp shared with on_complete, so a snapshot
      *  can read it back out (null for hand-built test items). */
+    // HISS_STATE_EXEMPT(service_start, restore): the saved stamp is
+    // fed through rebuildWorkItem, which re-creates the shared cell
     std::shared_ptr<Tick> service_start;
     /** Snapshot identity (see WorkItemSnap). */
+    // HISS_STATE_EXEMPT(snap, restore): reassembled into the
+    // WorkItemSnap aggregate that rebuildWorkItem consumes
     WorkItemSnap snap;
 };
 
@@ -165,6 +182,9 @@ class WorkQueue : public SimObject
   private:
     Scheduler &scheduler_;
     std::vector<std::deque<WorkItem>> queues_;
+    // HISS_STATE_EXEMPT(workers_): wiring; kworker threads are owned
+    // and serialized by the kernel thread table, re-attached via
+    // addWorker at construction
     std::vector<Thread *> workers_;
     std::uint64_t pushed_ = 0;
     std::uint64_t completed_ = 0;
@@ -210,8 +230,14 @@ class WorkerModel : public ExecutionModel
 
   private:
     WorkQueue &queue_;
+    // HISS_STATE_EXEMPT(core_): identity; one worker model per core,
+    // fixed at construction
     int core_;
+    // HISS_STATE_EXEMPT(governor_): wiring; borrowed governor pointer
+    // bound at construction
     QosGovernor *governor_;
+    // HISS_STATE_EXEMPT(faults_): wiring; borrowed injector pointer
+    // bound at construction
     FaultInjector *faults_;
     std::optional<WorkItem> current_;
     Tick remaining_ = 0;

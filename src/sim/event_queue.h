@@ -261,6 +261,9 @@ class EventQueue
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t num_pending_ = 0;
+    // HISS_STATE_EXEMPT(dead_in_heap_, save hash): save compacts the
+    // heap so snapshots never carry dead events and restore resets the
+    // count; hashing it would break pre-save vs post-restore equality
     std::size_t dead_in_heap_ = 0;
     std::vector<Entry> heap_;
     std::vector<Slot> slots_;

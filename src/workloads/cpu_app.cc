@@ -192,6 +192,8 @@ CpuApp::ThreadModel::stateHash() const
     snap::Hash64 h;
     h.mix(static_cast<std::uint64_t>(segment));
     h.mix(remaining);
+    snap::Access::hash(h, astream_);
+    snap::Access::hash(h, bstream_);
     return h.value();
 }
 

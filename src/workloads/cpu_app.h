@@ -109,6 +109,8 @@ class CpuApp : public SimObject
 
       private:
         CpuApp &app_;
+        // HISS_STATE_EXEMPT(index_): identity; position in the owning
+        // app's model table, fixed at construction
         int index_;
         AddressStream astream_;
         BranchStream bstream_;
@@ -121,14 +123,20 @@ class CpuApp : public SimObject
     void wakeThread(int index);
 
     Kernel &kernel_;
+    // HISS_STATE_EXEMPT(params_): construction config, covered by the
+    // snapshot config fingerprint
     CpuAppParams params_;
     std::vector<std::unique_ptr<ThreadModel>> models_;
+    // HISS_STATE_EXEMPT(threads_): wiring; borrowed kernel thread
+    // pointers acquired when the app spawns its threads
     std::vector<Thread *> threads_;
     int arrived_ = 0;
     std::uint64_t iterations_done_ = 0;
     bool done_ = false;
     Tick start_time_ = 0;
     Tick completion_time_ = 0;
+    // HISS_STATE_EXEMPT(on_complete_): callback; re-armed by the
+    // experiment driver after construction, never serialized
     std::function<void()> on_complete_;
 };
 

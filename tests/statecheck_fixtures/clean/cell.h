@@ -1,0 +1,28 @@
+// Clean cell-key fixture: every field reachable by value from the
+// cell appears in canonicalCellText (directly or via a helper in the
+// same translation unit).
+#ifndef FIX_CLEAN_CELL_H_
+#define FIX_CLEAN_CELL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fix {
+
+struct CellConfig
+{
+    std::uint32_t seed = 1;
+    std::uint32_t window = 64;
+};
+
+struct Cell
+{
+    std::string app;
+    CellConfig config;
+};
+
+std::string canonicalCellText(const Cell &cell);
+
+} // namespace fix
+
+#endif // FIX_CLEAN_CELL_H_

@@ -1,0 +1,28 @@
+#include "widget.h"
+
+namespace fix {
+
+void
+Widget::snapSave(snap::Writer &out) const
+{
+    write(out, count_);
+    write(out, credit_);
+}
+
+void
+Widget::snapRestore(snap::Reader &in)
+{
+    read(in, count_);
+    read(in, credit_);
+}
+
+std::uint64_t
+Widget::stateHash() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    h = (h ^ count_) * 1099511628211ull;
+    h = (h ^ static_cast<std::uint64_t>(credit_)) * 1099511628211ull;
+    return h;
+}
+
+} // namespace fix

@@ -1,0 +1,21 @@
+#include "cell.h"
+
+namespace fix {
+namespace {
+
+std::string
+appendConfig(const CellConfig &config)
+{
+    return "seed=" + std::to_string(config.seed)
+        + ";window=" + std::to_string(config.window);
+}
+
+} // namespace
+
+std::string
+canonicalCellText(const Cell &cell)
+{
+    return "app=" + cell.app + ";" + appendConfig(cell.config);
+}
+
+} // namespace fix

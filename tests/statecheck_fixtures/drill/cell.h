@@ -1,0 +1,32 @@
+// Drill cell-key fixture: CellConfig::fuel never reaches
+// canonicalCellText, so two cells differing only in fuel would share
+// a result-cache key. Also plants a marker outside any class body.
+#ifndef FIX_DRILL_CELL_H_
+#define FIX_DRILL_CELL_H_
+
+#include <cstdint>
+#include <string>
+
+// HISS_STATE_EXEMPT(stray_, hash): not inside any class — must be
+// reported as an orphan marker
+
+namespace fix {
+
+struct CellConfig
+{
+    std::uint32_t seed = 1;
+    std::uint32_t window = 64;
+    std::uint32_t fuel = 7; // the drill: missing from the key
+};
+
+struct Cell
+{
+    std::string app;
+    CellConfig config;
+};
+
+std::string canonicalCellText(const Cell &cell);
+
+} // namespace fix
+
+#endif // FIX_DRILL_CELL_H_

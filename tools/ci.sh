@@ -6,11 +6,19 @@
 #
 # Usage: tools/ci.sh [preset...]      (default: default check asan tsan;
 #                                      every preset sweep starts with the
-#                                      hiss_lint static pass)
+#                                      hiss_lint and hiss_statecheck
+#                                      static passes)
 #        tools/ci.sh lint             (static pass only: build hiss_lint,
 #                                      run the rule self-test, then lint
 #                                      the tree — zero unsuppressed
 #                                      findings or the build fails)
+#        tools/ci.sh statecheck       (state-coverage pass only: build
+#                                      hiss_statecheck, run its fixture
+#                                      self-test, require the seeded
+#                                      drill fixture to fire every mode
+#                                      and the clean fixture to pass,
+#                                      then prove the live tree covers
+#                                      every field)
 #        tools/ci.sh tidy             (optional clang-tidy pass over
 #                                      compile_commands.json; no-ops
 #                                      gracefully when clang-tidy is
@@ -60,6 +68,43 @@ run_lint() {
 }
 if [ "${1-}" = "lint" ]; then
     run_lint
+    exit 0
+fi
+
+# `statecheck` mode: the cross-TU state-coverage gate (docs/TESTING.md
+# "Static checks"). Like the lint gate it needs only the analyzer, so
+# it also runs before the preset builds. The fixture drill mirrors the
+# lint selftest pattern: the seeded "field added but not serialized"
+# corpus must fire every mode, and the clean corpus must stay silent,
+# proving the gate can actually fail before we trust its green.
+run_statecheck() {
+    cmake --preset default
+    cmake --build --preset default -j "$jobs" \
+        --target hiss_statecheck hiss_statecheck_selftest
+    build-default/tools/statecheck/hiss_statecheck_selftest \
+        --gtest_brief=1
+    local sc=build-default/tools/statecheck/hiss_statecheck
+    local drill_out
+    drill_out=$("$sc" --root tests/statecheck_fixtures --format=gcc \
+        drill || true)
+    local rule
+    for rule in state-save state-restore state-hash cell-key; do
+        echo "$drill_out" | grep -q "\[$rule\]" || {
+            echo "ci: statecheck FAILED: drill fixture did not fire" \
+                 "$rule"
+            exit 1
+        }
+    done
+    if "$sc" --root tests/statecheck_fixtures drill > /dev/null; then
+        echo "ci: statecheck FAILED: drill fixture passed clean"
+        exit 1
+    fi
+    "$sc" --root tests/statecheck_fixtures clean
+    "$sc" --root .
+    echo "ci: statecheck gate passed"
+}
+if [ "${1-}" = "statecheck" ]; then
+    run_statecheck
     exit 0
 fi
 
@@ -371,9 +416,11 @@ if [ "${#presets[@]}" -eq 0 ]; then
     presets=(default check asan tsan)
 fi
 
-# Static pass first: cheapest gate, and a determinism-contract
-# violation should fail CI before an hour of sanitizer builds.
+# Static passes first: cheapest gates, and a determinism- or
+# state-coverage-contract violation should fail CI before an hour of
+# sanitizer builds.
 run_lint
+run_statecheck
 
 for p in "${presets[@]}"; do
     echo "=== preset: $p ==="

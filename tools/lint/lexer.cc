@@ -37,21 +37,28 @@ lex(const std::string &source)
     const std::size_t n = source.size();
     std::size_t i = 0;
     int line = 1;
+    std::size_t line_start = 0;
     bool line_has_code = false;
 
-    auto push = [&](TokKind kind, std::string text, int tok_line) {
-        out.tokens.push_back({kind, std::move(text), tok_line});
+    auto col = [&](std::size_t at) {
+        return static_cast<int>(at - line_start) + 1;
+    };
+    auto push = [&](TokKind kind, std::string text, int tok_line,
+                    int tok_col) {
+        out.tokens.push_back({kind, std::move(text), tok_line, tok_col});
         line_has_code = true;
     };
-    auto newline = [&] {
+    // @p start: index of the new line's first character.
+    auto newline = [&](std::size_t start) {
         ++line;
+        line_start = start;
         line_has_code = false;
     };
 
     while (i < n) {
         const char c = source[i];
         if (c == '\n') {
-            newline();
+            newline(i + 1);
             ++i;
             continue;
         }
@@ -69,7 +76,7 @@ lex(const std::string &source)
             while (i < n) {
                 if (source[i] == '\\' && i + 1 < n
                     && source[i + 1] == '\n') {
-                    newline();
+                    newline(i + 2);
                     i += 2;
                     text += ' ';
                     continue;
@@ -80,7 +87,7 @@ lex(const std::string &source)
                     while (i + 1 < n
                            && !(source[i] == '*' && source[i + 1] == '/')) {
                         if (source[i] == '\n')
-                            newline();
+                            newline(i + 1);
                         ++i;
                     }
                     i = i + 2 <= n ? i + 2 : n;
@@ -124,7 +131,7 @@ lex(const std::string &source)
             while (i + 1 < n
                    && !(source[i] == '*' && source[i + 1] == '/')) {
                 if (source[i] == '\n')
-                    newline();
+                    newline(i + 1);
                 ++i;
             }
             const std::size_t end = i + 1 < n ? i : n;
@@ -143,14 +150,16 @@ lex(const std::string &source)
                 const std::string delim =
                     ")" + source.substr(i + 2, d - (i + 2)) + "\"";
                 const int tok_line = line;
+                const int tok_col = col(i);
                 std::size_t end = source.find(delim, d + 1);
                 if (end == std::string::npos)
                     end = n;
                 for (std::size_t k = d + 1; k < end; ++k)
                     if (source[k] == '\n')
-                        newline();
+                        newline(k + 1);
                 push(TokKind::String,
-                     source.substr(d + 1, end - d - 1), tok_line);
+                     source.substr(d + 1, end - d - 1), tok_line,
+                     tok_col);
                 i = end + delim.size() <= n ? end + delim.size() : n;
                 continue;
             }
@@ -160,6 +169,7 @@ lex(const std::string &source)
         if (c == '"' || c == '\'') {
             const char quote = c;
             const int tok_line = line;
+            const int tok_col = col(i);
             ++i;
             std::string text;
             while (i < n && source[i] != quote) {
@@ -178,7 +188,7 @@ lex(const std::string &source)
             if (i < n && source[i] == quote)
                 ++i;
             push(quote == '"' ? TokKind::String : TokKind::CharLit,
-                 std::move(text), tok_line);
+                 std::move(text), tok_line, tok_col);
             continue;
         }
 
@@ -187,7 +197,7 @@ lex(const std::string &source)
             while (i < n && isIdentChar(source[i]))
                 ++i;
             push(TokKind::Identifier, source.substr(begin, i - begin),
-                 line);
+                 line, col(begin));
             continue;
         }
 
@@ -201,16 +211,17 @@ lex(const std::string &source)
                                || source[i - 1] == 'p'
                                || source[i - 1] == 'P'))))
                 ++i;
-            push(TokKind::Number, source.substr(begin, i - begin), line);
+            push(TokKind::Number, source.substr(begin, i - begin), line,
+                 col(begin));
             continue;
         }
 
         if (i + 1 < n && isTwoCharPunct(c, source[i + 1])) {
-            push(TokKind::Punct, source.substr(i, 2), line);
+            push(TokKind::Punct, source.substr(i, 2), line, col(i));
             i += 2;
             continue;
         }
-        push(TokKind::Punct, std::string(1, c), line);
+        push(TokKind::Punct, std::string(1, c), line, col(i));
         ++i;
     }
 

@@ -37,6 +37,7 @@ struct Token
     TokKind kind = TokKind::EndOfFile;
     std::string text;
     int line = 0;
+    int col = 1; // 1-based byte column of the token's first character
 };
 
 /** A comment, kept for suppression scanning. */

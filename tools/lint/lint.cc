@@ -10,6 +10,7 @@ namespace {
 struct Allow
 {
     int line = 0;           // line the marker applies to
+    int marker_line = 0;    // line the comment itself sits on
     std::string rule;
     bool justified = false;
     bool used = false;
@@ -56,6 +57,7 @@ parseAllows(const LexResult &lex, const std::string &path,
         if (text.rfind(kMarker, 0) != 0)
             continue;
         Allow allow;
+        allow.marker_line = comment.line;
         allow.line = comment.owns_line ? nextCodeLine(comment.line)
                                        : comment.line;
         const std::size_t open = text.find('(');
@@ -144,6 +146,27 @@ Registry::lintSource(const std::string &path,
             out.push_back(std::move(finding));
     }
 
+    // A justified allow that suppressed nothing is stale: the code it
+    // shielded has changed (or the rule has), and the suppression —
+    // with its now-unmoored justification — must not outlive its
+    // reason. Warning, not error: the tree still lints clean, but the
+    // marker is flagged until someone deletes or re-justifies it.
+    for (const Allow &allow : allows) {
+        if (!allow.justified || allow.used)
+            continue;
+        if (!has(allow.rule) || allow.rule == kAllowRuleName)
+            continue; // unknown rules already errored above
+        out.push_back({path, allow.marker_line, kStaleAllowRuleName,
+                       Severity::Warning,
+                       "stale HISS_LINT_ALLOW(" + allow.rule
+                           + "): line "
+                           + std::to_string(allow.line)
+                           + " no longer triggers [" + allow.rule
+                           + "]",
+                       "delete the allow (or move it back onto the "
+                       "offending line)"});
+    }
+
     std::stable_sort(out.begin(), out.end(),
                      [](const Finding &a, const Finding &b) {
                          return a.line < b.line;
@@ -187,6 +210,38 @@ format(const Finding &finding)
     if (!finding.hint.empty())
         out += "\n    hint: " + finding.hint;
     return out;
+}
+
+std::string
+format(const Finding &finding, OutputFormat fmt)
+{
+    if (fmt == OutputFormat::Human)
+        return format(finding);
+    // gcc diagnostic form: one line, hint folded in, so editors and
+    // CI log scrapers can jump to file:line:col.
+    std::string out = finding.path + ":"
+        + std::to_string(finding.line) + ":"
+        + std::to_string(finding.col > 0 ? finding.col : 1) + ": "
+        + (finding.severity == Severity::Error ? "error" : "warning")
+        + ": " + finding.message;
+    if (!finding.hint.empty())
+        out += " (hint: " + finding.hint + ")";
+    out += " [" + finding.rule + "]";
+    return out;
+}
+
+bool
+parseOutputFormat(const std::string &name, OutputFormat &out)
+{
+    if (name == "human") {
+        out = OutputFormat::Human;
+        return true;
+    }
+    if (name == "gcc") {
+        out = OutputFormat::Gcc;
+        return true;
+    }
+    return false;
 }
 
 } // namespace hiss::lint

@@ -38,7 +38,19 @@ struct Finding
     Severity severity = Severity::Error;
     std::string message;
     std::string hint;  // one-line fix suggestion
+    int col = 1;       // 1-based column when known; 1 otherwise
 };
+
+/**
+ * Report rendering. Human is the default two-line form with the fix
+ * hint; Gcc is the single-line "file:line:col: severity: message
+ * [rule]" form compilers emit, so CI logs are clickable and editors
+ * can jump straight to a finding.
+ */
+enum class OutputFormat { Human, Gcc };
+
+/** Parse "human"/"gcc" into a format; false on anything else. */
+bool parseOutputFormat(const std::string &name, OutputFormat &out);
 
 /**
  * Everything a rule may look at for one file. `path` is the
@@ -97,6 +109,11 @@ class Rule
 /** Name of the meta-rule that polices HISS_LINT_ALLOW itself. */
 inline constexpr const char *kAllowRuleName = "allow-justification";
 
+/** Name of the meta-rule that flags suppressions whose line no longer
+ *  triggers the suppressed rule (stale allows are warnings: justified
+ *  suppressions must not outlive their reason). */
+inline constexpr const char *kStaleAllowRuleName = "stale-allow";
+
 class Registry
 {
   public:
@@ -127,6 +144,9 @@ FileContext classify(const std::string &path, const std::string &source);
 
 /** Render one finding as "path:line: severity: [rule] message". */
 std::string format(const Finding &finding);
+
+/** Render one finding in @p fmt (Human matches format() above). */
+std::string format(const Finding &finding, OutputFormat fmt);
 
 } // namespace hiss::lint
 

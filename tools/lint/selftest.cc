@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lexer.h"
 #include "lint.h"
 
 namespace {
@@ -211,6 +212,169 @@ TEST(LintSuppression, SameLineAllowSuppresses)
         "// HISS_LINT_ALLOW(banned-nondet): host-side probe\n";
     EXPECT_TRUE(
         registry.lintSource("src/os/probe.cc", source).empty());
+}
+
+TEST(LintSuppression, StaleJustifiedAllowWarns)
+{
+    const Registry registry = Registry::standard();
+    // A justified allow on a line that no longer triggers the rule:
+    // not an error (the justification is fine) but a warning, so the
+    // suppression cannot outlive its reason.
+    const std::string source =
+        "// HISS_LINT_ALLOW(banned-nondet): was needed once\n"
+        "int x = 0;\n";
+    const auto findings =
+        registry.lintSource("src/sim/stale_probe.cc", source);
+    ASSERT_EQ(findings.size(), 1U) << render(findings);
+    EXPECT_EQ(findings[0].rule, hiss::lint::kStaleAllowRuleName);
+    EXPECT_EQ(findings[0].severity, hiss::lint::Severity::Warning);
+}
+
+TEST(LintSuppression, LiveAllowIsNotStale)
+{
+    const Registry registry = Registry::standard();
+    const std::string source =
+        "// HISS_LINT_ALLOW(banned-nondet): host-side probe\n"
+        "long wall() { return time(nullptr); }\n";
+    const auto findings =
+        registry.lintSource("src/sim/live_probe.cc", source);
+    EXPECT_EQ(countRule(findings, hiss::lint::kStaleAllowRuleName), 0U)
+        << render(findings);
+    EXPECT_TRUE(findings.empty()) << render(findings);
+}
+
+// ---- Direct lexer coverage --------------------------------------
+// The rules above exercise the lexer indirectly; these pin down the
+// token-boundary contract itself.
+
+const hiss::lint::Token *
+findToken(const hiss::lint::LexResult &lexed, hiss::lint::TokKind kind,
+          const std::string &text)
+{
+    for (const auto &token : lexed.tokens)
+        if (token.kind == kind && token.text == text)
+            return &token;
+    return nullptr;
+}
+
+TEST(LintLexer, RawStringWithCustomDelimiter)
+{
+    // Plain-quote and wrong-delimiter closers inside the literal must
+    // not end it; only )xy" does.
+    const auto lexed = hiss::lint::lex(
+        "const char *s = R\"xy(a \"quote\" and )z\" imposter)xy\";\n"
+        "int after = 0;\n");
+    const auto *str = findToken(
+        lexed, hiss::lint::TokKind::String,
+        "a \"quote\" and )z\" imposter");
+    ASSERT_NE(str, nullptr);
+    EXPECT_EQ(str->line, 1);
+    const auto *after =
+        findToken(lexed, hiss::lint::TokKind::Identifier, "after");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->line, 2);
+    // The literal's innards never leak out as identifiers.
+    EXPECT_EQ(findToken(lexed, hiss::lint::TokKind::Identifier,
+                        "imposter"),
+              nullptr);
+}
+
+TEST(LintLexer, MultiLineRawStringKeepsLineNumbers)
+{
+    const auto lexed = hiss::lint::lex(
+        "auto s = R\"(one\ntwo\nthree)\";\nint after = 0;\n");
+    const auto *after =
+        findToken(lexed, hiss::lint::TokKind::Identifier, "after");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->line, 4);
+    EXPECT_EQ(lexed.num_lines, 5);
+}
+
+TEST(LintLexer, PreprocessorContinuationJoinsLogicalLine)
+{
+    const auto lexed = hiss::lint::lex(
+        "#define TWICE(x) \\\n    ((x) + (x))\n"
+        "int after = 0;\n");
+    ASSERT_EQ(lexed.directives.size(), 1U);
+    EXPECT_EQ(lexed.directives[0].line, 1);
+    EXPECT_NE(lexed.directives[0].text.find("define TWICE"),
+              std::string::npos);
+    EXPECT_NE(lexed.directives[0].text.find("((x) + (x))"),
+              std::string::npos);
+    // The continuation body is part of the directive, not code.
+    EXPECT_EQ(findToken(lexed, hiss::lint::TokKind::Identifier,
+                        "TWICE"),
+              nullptr);
+    const auto *after =
+        findToken(lexed, hiss::lint::TokKind::Identifier, "after");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->line, 3);
+}
+
+TEST(LintLexer, BlockCommentsDoNotNest)
+{
+    // Standard C++: the comment ends at the first */, so the code
+    // after it is real and the dangling */ tail never swallows it.
+    const auto lexed =
+        hiss::lint::lex("/* outer /* inner */ int visible = 0;\n");
+    ASSERT_EQ(lexed.comments.size(), 1U);
+    EXPECT_EQ(lexed.comments[0].text, " outer /* inner ");
+    EXPECT_NE(findToken(lexed, hiss::lint::TokKind::Identifier,
+                        "visible"),
+              nullptr);
+}
+
+TEST(LintLexer, UnterminatedBlockCommentDegradesSoftly)
+{
+    const auto lexed = hiss::lint::lex("int ok = 0;\n/* runs off");
+    EXPECT_NE(
+        findToken(lexed, hiss::lint::TokKind::Identifier, "ok"),
+        nullptr);
+    ASSERT_EQ(lexed.comments.size(), 1U);
+    EXPECT_EQ(lexed.comments[0].line, 2);
+}
+
+TEST(LintLexer, ConditionalDirectiveEdges)
+{
+    // Continuations and embedded block comments fold into one logical
+    // directive; a trailing line comment just ends it.
+    const auto lexed = hiss::lint::lex(
+        "#if defined(HISS_SIMD) /* gate */ \\\n    && !defined(OTHER)\n"
+        "int a = 0;\n"
+        "#endif // close the gate\n");
+    ASSERT_EQ(lexed.directives.size(), 2U);
+    EXPECT_NE(lexed.directives[0].text.find("defined(HISS_SIMD)"),
+              std::string::npos);
+    EXPECT_NE(lexed.directives[0].text.find("!defined(OTHER)"),
+              std::string::npos);
+    EXPECT_EQ(lexed.directives[1].text.rfind("#endif", 0), 0U);
+    EXPECT_EQ(lexed.directives[1].line, 4);
+    EXPECT_NE(findToken(lexed, hiss::lint::TokKind::Identifier, "a"),
+              nullptr);
+}
+
+TEST(LintLexer, HashAfterCodeIsNotADirective)
+{
+    // '#' only starts a directive when nothing but whitespace
+    // precedes it on the line.
+    const auto lexed = hiss::lint::lex("int x = 0; #pragma probe\n");
+    EXPECT_TRUE(lexed.directives.empty());
+    EXPECT_NE(findToken(lexed, hiss::lint::TokKind::Punct, "#"),
+              nullptr);
+    EXPECT_NE(findToken(lexed, hiss::lint::TokKind::Identifier,
+                        "pragma"),
+              nullptr);
+}
+
+TEST(LintLexer, StringsHideCommentAndDirectiveMarkers)
+{
+    const auto lexed = hiss::lint::lex(
+        "const char *s = \"#include <x> // not a comment\";\n");
+    EXPECT_TRUE(lexed.directives.empty());
+    EXPECT_TRUE(lexed.comments.empty());
+    EXPECT_NE(findToken(lexed, hiss::lint::TokKind::String,
+                        "#include <x> // not a comment"),
+              nullptr);
 }
 
 } // namespace

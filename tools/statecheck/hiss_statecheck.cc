@@ -1,19 +1,22 @@
 /**
  * @file
- * hiss_lint driver.
+ * hiss_statecheck driver.
  *
- * Walks the tree (default: src tools bench tests under --root),
- * lints every .h/.cc/.cpp file against the standard rule registry,
- * and prints file:line:rule findings with a one-line fix hint.
+ * Parses every C++ file under the given paths (default: src under
+ * --root) into one cross-TU index, then reports any snapshot-capable
+ * class whose fields are not covered by all of save/restore/hash,
+ * any cell-key-reachable field missing from canonicalCellText, and
+ * any HISS_STATE_EXEMPT marker that is malformed, unjustified,
+ * unknown, or stale.
  *
  * Exit status: 0 clean, 1 error findings, 2 usage/IO failure.
  *
- *   hiss_lint [--root DIR] [--format=human|gcc] [--list-rules] [path...]
+ *   hiss_statecheck [--root DIR] [--format=human|gcc]
+ *                   [--class NAME] [--list] [path...]
  *
- * Paths are files or directories, relative to --root. The lint
- * fixture corpus (tests/lint_fixtures) is skipped during directory
- * walks — its files violate on purpose — but can still be linted by
- * naming a file explicitly.
+ * --class NAME restricts the report to one class (handy while fixing
+ * a single serializer); --list prints every snapshot-capable class
+ * with its implementation inventory instead of analyzing.
  */
 
 #include <algorithm>
@@ -24,17 +27,19 @@
 #include <string>
 #include <vector>
 
-#include "lint.h"
+#include "statecheck.h"
 
 namespace fs = std::filesystem;
 using hiss::lint::Finding;
-using hiss::lint::Registry;
 using hiss::lint::Severity;
+using hiss::statecheck::Index;
+using hiss::statecheck::Options;
+using hiss::statecheck::Subject;
 
 namespace {
 
 bool
-lintableExtension(const fs::path &path)
+parsableExtension(const fs::path &path)
 {
     const std::string ext = path.extension().string();
     return ext == ".h" || ext == ".cc" || ext == ".cpp"
@@ -44,8 +49,7 @@ lintableExtension(const fs::path &path)
 bool
 skippedDir(const std::string &name)
 {
-    // Build trees and the intentionally-violating fixture corpora
-    // (the statecheck fixtures are parsed, never compiled or linted).
+    // Build trees and the intentionally-violating fixture corpora.
     return name == "lint_fixtures" || name == "statecheck_fixtures"
         || name.rfind("build", 0) == 0 || name == ".git";
 }
@@ -63,7 +67,7 @@ collectFiles(const fs::path &root, const std::vector<std::string> &paths,
             continue;
         }
         if (!fs::is_directory(base, ec)) {
-            std::cerr << "hiss_lint: no such file or directory: "
+            std::cerr << "hiss_statecheck: no such file or directory: "
                       << base.string() << "\n";
             io_error = true;
             continue;
@@ -79,13 +83,11 @@ collectFiles(const fs::path &root, const std::vector<std::string> &paths,
                 it.disable_recursion_pending();
                 continue;
             }
-            if (it->is_regular_file()
-                && lintableExtension(it->path()))
+            if (it->is_regular_file() && parsableExtension(it->path()))
                 files.push_back(
                     fs::relative(it->path(), root).generic_string());
         }
     }
-    // Deterministic report order regardless of directory enumeration.
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
     return files;
@@ -98,90 +100,100 @@ main(int argc, char **argv)
 {
     fs::path root = ".";
     std::vector<std::string> paths;
-    bool list_rules = false;
+    bool list = false;
+    Options opts;
     hiss::lint::OutputFormat fmt = hiss::lint::OutputFormat::Human;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
+        } else if (arg == "--class" && i + 1 < argc) {
+            opts.only_class = argv[++i];
         } else if (arg.rfind("--format=", 0) == 0) {
             if (!hiss::lint::parseOutputFormat(arg.substr(9), fmt)) {
-                std::cerr << "hiss_lint: unknown format '"
+                std::cerr << "hiss_statecheck: unknown format '"
                           << arg.substr(9) << "' (human|gcc)\n";
                 return 2;
             }
-        } else if (arg == "--list-rules") {
-            list_rules = true;
+        } else if (arg == "--list") {
+            list = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: hiss_lint [--root DIR]"
-                         " [--format=human|gcc] [--list-rules]"
-                         " [path...]\n";
+            std::cout << "usage: hiss_statecheck [--root DIR]"
+                         " [--format=human|gcc] [--class NAME]"
+                         " [--list] [path...]\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "hiss_lint: unknown option '" << arg << "'\n";
+            std::cerr << "hiss_statecheck: unknown option '" << arg
+                      << "'\n";
             return 2;
         } else {
             paths.push_back(arg);
         }
     }
 
-    const Registry registry = Registry::standard();
-    if (list_rules) {
-        for (const auto &rule : registry.rules())
-            std::cout << rule->name() << "\n    "
-                      << rule->description() << "\n    hint: "
-                      << rule->hint() << "\n";
-        std::cout << hiss::lint::kAllowRuleName
-                  << "\n    HISS_LINT_ALLOW(rule) must carry a "
-                     "justification: \"// HISS_LINT_ALLOW(rule): "
-                     "why\"\n";
-        std::cout << hiss::lint::kStaleAllowRuleName
-                  << "\n    a justified HISS_LINT_ALLOW whose line no "
-                     "longer triggers the rule is flagged (warning) "
-                     "so suppressions cannot outlive their reason\n";
-        return 0;
-    }
-
     if (paths.empty())
-        paths = {"src", "tools", "bench", "tests"};
+        paths = {"src"};
 
     bool io_error = false;
     const std::vector<std::string> files =
         collectFiles(root, paths, io_error);
     if (files.empty()) {
-        std::cerr << "hiss_lint: nothing to lint under "
+        std::cerr << "hiss_statecheck: nothing to analyze under "
                   << root.string() << "\n";
         return 2;
     }
 
-    std::size_t errors = 0, warnings = 0;
+    Index index;
     for (const std::string &rel : files) {
         std::ifstream in(root / rel, std::ios::binary);
         if (!in) {
-            std::cerr << "hiss_lint: cannot read " << rel << "\n";
+            std::cerr << "hiss_statecheck: cannot read " << rel
+                      << "\n";
             io_error = true;
             continue;
         }
         std::ostringstream contents;
         contents << in.rdbuf();
-        for (const Finding &finding :
-             registry.lintSource(rel, contents.str())) {
-            std::cout << hiss::lint::format(finding, fmt) << "\n";
-            if (finding.severity == Severity::Error)
-                ++errors;
-            else
-                ++warnings;
+        index.addFile(
+            hiss::statecheck::parseFile(rel, contents.str()));
+    }
+    index.build();
+
+    if (list) {
+        for (const Subject &subject : index.subjects()) {
+            std::cout << subject.name << " (" << subject.file << ":"
+                      << subject.line << ")";
+            static const char *kOps[] = {"save", "restore", "hash"};
+            for (int m = 0; m < 3; ++m)
+                std::cout << " " << kOps[m] << "="
+                          << subject.impls[m].size();
+            std::cout << " fields="
+                      << subject.decl->fields.size() << "\n";
         }
+        std::cout << "hiss_statecheck: " << index.subjects().size()
+                  << " snapshot-capable classes across "
+                  << index.numClasses() << " classes in "
+                  << index.numFiles() << " files\n";
+        return io_error ? 2 : 0;
+    }
+
+    std::size_t errors = 0, warnings = 0;
+    for (const Finding &finding : index.analyze(opts)) {
+        std::cout << hiss::lint::format(finding, fmt) << "\n";
+        if (finding.severity == Severity::Error)
+            ++errors;
+        else
+            ++warnings;
     }
 
     if (errors == 0 && warnings == 0)
-        std::cout << "hiss_lint: clean (" << files.size() << " files, "
-                  << registry.rules().size() << " rules)\n";
+        std::cout << "hiss_statecheck: clean ("
+                  << index.subjects().size() << " classes, "
+                  << index.numFiles() << " files)\n";
     else
-        std::cout << "hiss_lint: " << errors << " error(s), "
-                  << warnings << " warning(s) across " << files.size()
-                  << " files\n";
+        std::cout << "hiss_statecheck: " << errors << " error(s), "
+                  << warnings << " warning(s)\n";
     if (io_error)
         return 2;
     return errors > 0 ? 1 : 0;
